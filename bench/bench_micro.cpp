@@ -1,0 +1,132 @@
+// Google-benchmark microbenchmarks of the hot kernels: elliptic integrals,
+// the 2D Landau tensor, the inner-integral point kernel, banded LU, RCM,
+// sparse matvec, and the full element kernel on each back-end.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "core/kernel_math.h"
+#include "core/landau_tensor.h"
+#include "core/operator.h"
+#include "la/band.h"
+#include "la/rcm.h"
+#include "util/special_math.h"
+
+using namespace landau;
+
+static void BM_EllipticKE(benchmark::State& state) {
+  double m = 0.3, K, E;
+  for (auto _ : state) {
+    elliptic_ke(m, &K, &E);
+    benchmark::DoNotOptimize(K + E);
+    m = 0.1 + 0.8 * (m - 0.1 < 0.79 ? m - 0.099 : 0.0); // wander in (0,1)
+  }
+}
+BENCHMARK(BM_EllipticKE);
+
+static void BM_LandauTensor2D(benchmark::State& state) {
+  Tensor2 uk, ud;
+  double r = 1.0;
+  for (auto _ : state) {
+    landau_tensor_2d(r, 0.5, 0.7, -0.3, &uk, &ud);
+    benchmark::DoNotOptimize(uk.m[0][0] + ud.m[1][1]);
+    r = r < 3.0 ? r + 1e-3 : 0.5;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LandauTensor2D);
+
+static void BM_InnerPoint(benchmark::State& state) {
+  const int ns = static_cast<int>(state.range(0));
+  std::vector<double> f(static_cast<std::size_t>(ns) * 8, 0.5), q2(static_cast<std::size_t>(ns), 1.0),
+      qm(static_cast<std::size_t>(ns), 0.1);
+  detail::InnerAccum acc;
+  for (auto _ : state) {
+    detail::inner_point(1.0, 0.5, 0.7, -0.3, 0.01, f.data(), f.data(), f.data(), 8, ns,
+                        q2.data(), qm.data(), &acc);
+    benchmark::DoNotOptimize(acc.gd00);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InnerPoint)->Arg(1)->Arg(2)->Arg(10);
+
+static void BM_BandLUFactor(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t bw = 12;
+  la::BandMatrix proto(n, bw, bw);
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = (i > bw ? i - bw : 0); j <= std::min(n - 1, i + bw); ++j)
+      proto.at(i, j) = i == j ? 30.0 : dist(rng);
+  for (auto _ : state) {
+    la::BandMatrix b = proto;
+    benchmark::DoNotOptimize(b.factor_lu());
+  }
+}
+BENCHMARK(BM_BandLUFactor)->Arg(200)->Arg(800);
+
+static void BM_RcmOrdering(benchmark::State& state) {
+  const std::size_t n = 500;
+  la::SparsityPattern p(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = (i > 4 ? i - 4 : 0); j <= std::min(n - 1, i + 4); ++j) p.add(i, j);
+  p.compress();
+  la::CsrMatrix a(p);
+  for (auto _ : state) {
+    auto perm = la::rcm_ordering(a);
+    benchmark::DoNotOptimize(perm.data());
+  }
+}
+BENCHMARK(BM_RcmOrdering);
+
+static void BM_JacobianKernel(benchmark::State& state) {
+  const auto backend = static_cast<Backend>(state.range(0));
+  SpeciesSet electron(
+      {{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0}});
+  LandauOptions lopts;
+  lopts.order = 3;
+  lopts.radius = 4.0;
+  lopts.cells_per_thermal = 0.6;
+  lopts.max_levels = 3;
+  lopts.backend = backend;
+  lopts.n_workers = 1;
+  LandauOperator op(electron, lopts);
+  op.pack(op.maxwellian_state());
+  la::CsrMatrix j = op.new_matrix();
+  for (auto _ : state) {
+    j.zero_entries();
+    op.add_collision(j);
+    benchmark::DoNotOptimize(j.values().data());
+  }
+  state.SetLabel(backend_name(backend));
+  state.counters["cells"] = static_cast<double>(op.forest().n_leaves());
+}
+BENCHMARK(BM_JacobianKernel)
+    ->Arg(static_cast<int>(Backend::Cpu))
+    ->Arg(static_cast<int>(Backend::CudaSim))
+    ->Arg(static_cast<int>(Backend::KokkosSim))
+    ->Unit(benchmark::kMillisecond);
+
+static void BM_MassKernel(benchmark::State& state) {
+  SpeciesSet electron(
+      {{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0}});
+  LandauOptions lopts;
+  lopts.order = 3;
+  lopts.radius = 4.0;
+  lopts.cells_per_thermal = 0.6;
+  lopts.max_levels = 3;
+  lopts.n_workers = 1;
+  LandauOperator op(electron, lopts);
+  op.pack(op.maxwellian_state());
+  la::CsrMatrix j = op.new_matrix();
+  for (auto _ : state) {
+    j.zero_entries();
+    op.add_mass_kernel(j, 1.0);
+    benchmark::DoNotOptimize(j.values().data());
+  }
+}
+BENCHMARK(BM_MassKernel)->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

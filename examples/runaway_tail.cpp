@@ -1,0 +1,89 @@
+// Runaway-seed dynamics on a tail-refined mesh (§IV): a bulk Maxwellian plus
+// a warm beam ("bump on tail") under a parallel electric field. The beam
+// sits in the weakly collisional tail: with a strong enough field it keeps
+// accelerating (friction falls with energy) while the bulk barely drifts —
+// the seed-runaway mechanism the quench model feeds.
+//
+//   ./runaway_tail [-e_field 0.02] [-beam_v 2.2] [-nsteps 20] [-dt 0.5]
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/operator.h"
+#include "solver/implicit.h"
+#include "util/options.h"
+#include "util/special_math.h"
+#include "util/table_writer.h"
+
+using namespace landau;
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.parse(argc, argv);
+  const double e_z = opts.get<double>("e_field", 0.02, "applied E_z (normalized)");
+  const double beam_v = opts.get<double>("beam_v", 2.2, "beam parallel velocity (v0)");
+  const double beam_n = opts.get<double>("beam_n", 0.05, "beam density / n0");
+  const double beam_t = opts.get<double>("beam_t", 0.1, "beam temperature / T_e");
+  const int nsteps = opts.get<int>("nsteps", 20, "steps");
+  const double dt = opts.get<double>("dt", 0.5, "time step");
+  const std::string csv = opts.get<std::string>("csv", "", "optional CSV output");
+
+  SpeciesSet electron(
+      {{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0}});
+  LandauOptions lopts = LandauOptions::from_options(opts);
+  lopts.radius = opts.get<double>("landau_radius", 6.0, "");
+  lopts.max_levels = opts.get<int>("landau_max_levels", 4, "");
+  // Refine a strip along -z where the (negatively charged) beam accelerates.
+  lopts.tail_zones.push_back({-lopts.radius, -beam_v + 1.0, 1.5, 0.4});
+  if (opts.help_requested()) {
+    std::printf("%s", opts.help_text().c_str());
+    return 0;
+  }
+
+  LandauOperator op(electron, lopts);
+  std::printf("tail-refined mesh: %zu cells, %zu dofs\n", op.forest().n_leaves(),
+              op.n_dofs_per_species());
+
+  // Bulk + beam drifting toward -z (electrons accelerate against E).
+  la::Vec f = op.project([&](int, double r, double z) {
+    const double bulk = maxwellian_rz(r, z, 1.0, kPi / 4.0);
+    const double beam = maxwellian_rz(r, z, beam_n, (kPi / 4.0) * beam_t, -beam_v);
+    return bulk + beam;
+  });
+
+  auto beam_speed = [&](const la::Vec& state) {
+    // Mean parallel velocity of the tail population (|v| > beam_v - 0.7).
+    const double vc = beam_v - 0.7;
+    auto b = op.block(state, 0);
+    const double n = op.space().moment(
+        b, [&](double r, double z) { return r * r + z * z > vc * vc ? 1.0 : 0.0; });
+    const double pz = op.space().moment(
+        b, [&](double r, double z) { return r * r + z * z > vc * vc ? z : 0.0; });
+    return n > 0 ? pz / n : 0.0;
+  };
+
+  TableWriter table("bump-on-tail under E_z (normalized)");
+  table.header({"t", "bulk drift", "tail <v_z>", "tail n", "total n"});
+  NewtonOptions newton;
+  newton.rtol = 1e-6;
+  ImplicitIntegrator integrator(op, newton);
+  double t = 0.0;
+  for (int s = 0; s <= nsteps; ++s) {
+    auto b = op.block(f, 0);
+    const double n = op.space().moment(b, [](double, double) { return 1.0; });
+    const double uz = op.space().moment(b, [](double, double z) { return z; }) / n;
+    const double vc = beam_v - 0.7;
+    const double tail_n = op.space().moment(
+        b, [&](double r, double z) { return r * r + z * z > vc * vc ? 1.0 : 0.0; });
+    table.add_row().cell(t, 2).cell(uz, 5).cell(beam_speed(f), 4).cell(tail_n, 5).cell(n, 7);
+    if (s < nsteps) {
+      integrator.step(f, dt, e_z);
+      t += dt;
+    }
+  }
+  std::printf("%s", table.str().c_str());
+  std::printf("\nExpected: the tail population's |<v_z>| grows (runaway acceleration)\n"
+              "while the bulk drift stays small (collisional friction); density exact.\n");
+  if (!csv.empty()) table.write_csv(csv);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Spitzer resistivity verification (paper §IV-B / Fig. 4): evolve an
+// electron-ion plasma under a small fixed E_z until the current reaches a
+// quasi-equilibrium and compare eta = E/J with the Spitzer formula.
+//
+//   ./spitzer_resistivity [-z 1] [-e_field 2e-3] [-dt 1.0] [-max_steps 80]
+
+#include <cstdio>
+
+#include "quench/model.h"
+#include "quench/spitzer.h"
+#include "util/options.h"
+#include "util/table_writer.h"
+
+using namespace landau;
+using namespace landau::quench;
+
+int main(int argc, char** argv) {
+  Options opts;
+  opts.parse(argc, argv);
+  const double z = opts.get<double>("z", 1.0, "ion effective charge Z");
+  const double e_z = opts.get<double>("e_field", 2e-3, "applied E_z (normalized)");
+  const double dt = opts.get<double>("dt", 1.0, "time step");
+  const int max_steps = opts.get<int>("max_steps", 80, "step budget");
+  const double ion_mass =
+      opts.get<double>("ion_mass", 400.0, "ion mass override (m_e; 0 = physical)");
+
+  auto species = SpeciesSet::electron_ion(z);
+  if (ion_mass > 0) species[1].mass = ion_mass;
+
+  LandauOptions lopts = LandauOptions::from_options(opts);
+  lopts.cells_per_thermal = opts.get<double>("landau_cells_per_thermal", 0.9, "");
+  lopts.max_levels = opts.get<int>("landau_max_levels", 5, "");
+  if (opts.help_requested()) {
+    std::printf("%s", opts.help_text().c_str());
+    return 0;
+  }
+
+  LandauOperator op(species, lopts);
+  std::printf("Z = %g plasma: %zu cells, %zu dofs/species\n", z, op.forest().n_leaves(),
+              op.n_dofs_per_species());
+
+  const auto res = measure_resistivity(op, e_z, dt, max_steps);
+  const double eta_sp = spitzer_eta(z);
+
+  TableWriter table("Spitzer resistivity verification (normalized units)");
+  table.header({"Z", "eta = E/J", "eta_Spitzer", "ratio", "steps", "steady"});
+  table.add_row().cell(z, 1).cell(res.eta, 6).cell(eta_sp, 6).cell(res.eta / eta_sp, 4)
+      .cell(res.steps).cell(res.converged ? "yes" : "no");
+  std::printf("%s", table.str().c_str());
+  return 0;
+}

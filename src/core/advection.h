@@ -1,0 +1,16 @@
+#pragma once
+// The electric-field advection term of eq. (1): for species a the weak form
+// contributes (q_a/m_a) E_z * 2 pi \int r psi d(phi)/dz dr dz to the system
+// operator. Linear in f with a per-species scalar coefficient; assembled on
+// the host (it is a standard FE convection matrix, cheap next to Algorithm 1).
+
+#include "core/jacobian.h"
+
+namespace landau {
+
+/// Add the advection blocks A_s = (q_s/m_s) E_z * (psi, d/dz phi) to J.
+/// Sign convention: the evolution is M df/dt = -A f + C f + M S, so A is
+/// assembled positive and the integrator subtracts it.
+void assemble_advection(const JacobianContext& ctx, double e_z, la::CsrMatrix& j);
+
+} // namespace landau

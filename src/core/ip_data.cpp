@@ -1,0 +1,27 @@
+#include "core/ip_data.h"
+
+#include "util/error.h"
+
+namespace landau {
+
+void pack_ip_data(const fem::FESpace& fes, std::span<const la::Vec> states, IPData* out) {
+  const int ns = static_cast<int>(states.size());
+  LANDAU_ASSERT(ns >= 1, "need at least one species state");
+  out->resize(ns, fes.n_ips());
+
+  fes.ip_coordinates(out->r, out->z, out->w);
+  // Fold the cylindrical factor r into the packed weight (dvbar rbar in
+  // eqs. 7-8; the same weight serves the outer integral's dv r).
+  for (std::size_t j = 0; j < out->n; ++j) out->w[j] *= out->r[j];
+
+  for (int s = 0; s < ns; ++s) {
+    LANDAU_ASSERT(states[static_cast<std::size_t>(s)].size() == fes.n_dofs(),
+                  "state size mismatch for species " << s);
+    const std::size_t off = static_cast<std::size_t>(s) * out->n;
+    fes.eval_at_ips(states[static_cast<std::size_t>(s)].span(),
+                    {out->f.data() + off, out->n}, {out->dfr.data() + off, out->n},
+                    {out->dfz.data() + off, out->n});
+  }
+}
+
+} // namespace landau

@@ -1,0 +1,67 @@
+// Serial CPU implementation of the Landau Jacobian kernel — the reference
+// the paper's incremental development path starts from (simple C code on the
+// CPU, §III-D). Plain element / integration-point / inner-point loops over
+// the packed SoA arrays.
+
+#include "core/jacobian.h"
+#include "core/kernel_math.h"
+
+namespace landau::detail {
+
+void landau_kernel_cpu(const JacobianContext& ctx, la::CsrMatrix& j,
+                       exec::KernelCounters* counters) {
+  const auto& fes = *ctx.fes;
+  const auto& tab = fes.tabulation();
+  const auto& ip = *ctx.ip;
+  const int nq = tab.n_quad();
+  const int nb = tab.n_basis();
+  const int ns = ctx.species->size();
+  const std::size_t n = ip.n;
+
+  ElementMatrices ce;
+  std::vector<PointCoeffs> coeffs(static_cast<std::size_t>(ns) * nq);
+
+  for (std::size_t cell = 0; cell < fes.n_cells(); ++cell) {
+    exec::CounterScope scope(counters);
+    const auto geom = fes.geometry(cell);
+    ce.resize(ns, nb);
+
+    for (int i = 0; i < nq; ++i) {
+      const std::size_t gi = ctx.ip_offset + cell * static_cast<std::size_t>(nq) + static_cast<std::size_t>(i);
+      InnerAccum g;
+      for (std::size_t jj = 0; jj < n; ++jj)
+        inner_point(ip.r[gi], ip.z[gi], ip.r[jj], ip.z[jj], ip.w[jj], &ip.f[jj], &ip.dfr[jj],
+                    &ip.dfz[jj], n, ns, ctx.q2.data(), ctx.q2_over_m.data(), &g);
+      scope.flops(static_cast<std::int64_t>(n) * inner_flops(ns));
+      scope.dram(static_cast<std::int64_t>(n) * (3 + 3 * ns) * 8);
+      for (int a = 0; a < ns; ++a)
+        coeffs[static_cast<std::size_t>(a * nq + i)] = transform_point(
+            g, ctx.nu0, ctx.q2[static_cast<std::size_t>(a)],
+            ctx.q2_over_m[static_cast<std::size_t>(a)], ctx.q2_over_m2[static_cast<std::size_t>(a)],
+            geom.jinv[0], geom.jinv[1], ip.w[gi]);
+    }
+
+    // Transform & Assemble (Algorithm 1 line 23): contract with the element
+    // tabulation to form the per-species element matrices.
+    for (int a_sp = 0; a_sp < ns; ++a_sp) {
+      for (int i = 0; i < nq; ++i) {
+        const auto& p = coeffs[static_cast<std::size_t>(a_sp * nq + i)];
+        for (int a = 0; a < nb; ++a) {
+          const double ear = tab.E(i, a, 0);
+          const double eaz = tab.E(i, a, 1);
+          const double ka = ear * p.kk_r + eaz * p.kk_z;
+          const double dar = ear * p.dd00 + eaz * p.dd01;
+          const double daz = ear * p.dd01 + eaz * p.dd11;
+          for (int b = 0; b < nb; ++b)
+            ce.at(a_sp, a, b) +=
+                dar * tab.E(i, b, 0) + daz * tab.E(i, b, 1) + ka * tab.B(i, b);
+        }
+      }
+    }
+    scope.flops(static_cast<std::int64_t>(ns) * nq * nb * (8 + 5 * nb));
+    scope.dram(static_cast<std::int64_t>(ns) * nb * nb * 8 * 2);
+    assemble_element(ctx, cell, ce, j);
+  }
+}
+
+} // namespace landau::detail

@@ -1,0 +1,149 @@
+// The CUDA formulation of the Landau Jacobian kernel (Algorithm 1), written
+// against the emulated CUDA programming model:
+//
+//  * grid.x  = elements (one element per block / SM),
+//  * block.y = integration points of the element,
+//  * block.x = reduction lanes for the inner integral (power of two,
+//    block.x * block.y <= 256, §III-E1),
+//  * the beta-terms of the inner integral are staged tile-by-tile into
+//    shared memory; partial integrals live in per-thread registers and are
+//    combined with a warp-shuffle butterfly; the element matrix is formed by
+//    all threads and assembled into the global CSR matrix with atomic adds.
+
+#include "core/jacobian.h"
+#include "core/kernel_math.h"
+#include "exec/cuda_sim.h"
+
+namespace landau::detail {
+namespace {
+
+/// Largest power-of-two lane count with lanes * nq <= 256 (§III-E1).
+int reduction_lanes(int nq) {
+  int x = 1;
+  while (2 * x * nq <= 256) x *= 2;
+  return x;
+}
+
+constexpr int kTile = 128; // shared-memory staging tile (inner points)
+
+} // namespace
+
+void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::CsrMatrix& j,
+                        exec::KernelCounters* counters) {
+  const auto& fes = *ctx.fes;
+  const auto& tab = fes.tabulation();
+  const auto& ip = *ctx.ip;
+  const int nq = tab.n_quad();
+  const int nb = tab.n_basis();
+  const int ns = ctx.species->size();
+  const std::size_t n = ip.n;
+  const exec::Dim3 block{reduction_lanes(nq), nq, 1};
+
+  exec::launch(
+      pool, static_cast<int>(fes.n_cells()), block,
+      [&](exec::Block& blk) {
+        exec::CounterScope scope(blk.counters());
+        const auto cell = static_cast<std::size_t>(blk.block_idx());
+        const auto geom = fes.geometry(cell);
+        const int lanes = blk.block_dim().x;
+
+        // Register file: each thread's partial (G_K, G_D).
+        auto regs = blk.registers<InnerAccum>();
+
+        // Shared memory: staging tiles and the per-(species, point) results.
+        auto tile_r = blk.shared<double>(kTile);
+        auto tile_z = blk.shared<double>(kTile);
+        auto tile_w = blk.shared<double>(kTile);
+        auto tile_f = blk.shared<double>(static_cast<std::size_t>(ns) * kTile);
+        auto tile_dfr = blk.shared<double>(static_cast<std::size_t>(ns) * kTile);
+        auto tile_dfz = blk.shared<double>(static_cast<std::size_t>(ns) * kTile);
+        auto kkdd = blk.shared<PointCoeffs>(static_cast<std::size_t>(ns) * nq);
+        auto ce = blk.shared<double>(static_cast<std::size_t>(ns) * nb * nb);
+
+        // Inner integral over all global points, tile by tile (lines 3-11).
+        for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
+          const int tn = static_cast<int>(std::min<std::size_t>(kTile, n - j0));
+          // Cooperative load: threads stride the tile (coalesced SoA reads).
+          blk.threads([&](exec::ThreadIdx t) {
+            for (int k = t.flat; k < tn; k += blk.num_threads()) {
+              const std::size_t gj = j0 + static_cast<std::size_t>(k);
+              tile_r[static_cast<std::size_t>(k)] = ip.r[gj];
+              tile_z[static_cast<std::size_t>(k)] = ip.z[gj];
+              tile_w[static_cast<std::size_t>(k)] = ip.w[gj];
+              for (int s = 0; s < ns; ++s) {
+                tile_f[static_cast<std::size_t>(s * kTile + k)] = ip.f_at(s, gj);
+                tile_dfr[static_cast<std::size_t>(s * kTile + k)] = ip.dfr_at(s, gj);
+                tile_dfz[static_cast<std::size_t>(s * kTile + k)] = ip.dfz_at(s, gj);
+              }
+            }
+          });
+          blk.sync();
+          scope.dram(static_cast<std::int64_t>(tn) * (3 + 3 * ns) * 8);
+          // Each thread accumulates its lane's share of the tile.
+          blk.threads([&](exec::ThreadIdx t) {
+            const std::size_t gi =
+                ctx.ip_offset + cell * static_cast<std::size_t>(nq) + static_cast<std::size_t>(t.y);
+            for (int k = t.x; k < tn; k += lanes)
+              inner_point(ip.r[gi], ip.z[gi], tile_r[static_cast<std::size_t>(k)],
+                          tile_z[static_cast<std::size_t>(k)], tile_w[static_cast<std::size_t>(k)],
+                          &tile_f[static_cast<std::size_t>(k)], &tile_dfr[static_cast<std::size_t>(k)],
+                          &tile_dfz[static_cast<std::size_t>(k)], kTile, ns, ctx.q2.data(),
+                          ctx.q2_over_m.data(), &regs[static_cast<std::size_t>(t.flat)]);
+          });
+          blk.sync();
+          scope.flops(static_cast<std::int64_t>(tn) * nq * inner_flops(ns));
+          scope.shared(static_cast<std::int64_t>(tn) * nq * (3 + 3 * ns) * 8);
+        }
+
+        // Warp-shuffle reduction across the x-lanes (line 12).
+        blk.shfl_xor_sum_x(regs);
+
+        // Per-species scaling and mapping to the global basis (lines 13-21).
+        blk.threads([&](exec::ThreadIdx t) {
+          const std::size_t gi =
+              ctx.ip_offset + cell * static_cast<std::size_t>(nq) + static_cast<std::size_t>(t.y);
+          const InnerAccum& g = regs[static_cast<std::size_t>(t.flat)]; // row-reduced value
+          for (int a = t.x; a < ns; a += lanes)
+            kkdd[static_cast<std::size_t>(a * nq + t.y)] = transform_point(
+                g, ctx.nu0, ctx.q2[static_cast<std::size_t>(a)],
+                ctx.q2_over_m[static_cast<std::size_t>(a)],
+                ctx.q2_over_m2[static_cast<std::size_t>(a)], geom.jinv[0], geom.jinv[1],
+                ip.w[gi]);
+        });
+        blk.sync();
+
+        // Transform & Assemble with all threads (line 23): distribute the
+        // (species, test, trial) triples across the whole block.
+        const int total = ns * nb * nb;
+        blk.threads([&](exec::ThreadIdx t) {
+          for (int item = t.flat; item < total; item += blk.num_threads()) {
+            const int a_sp = item / (nb * nb);
+            const int a = (item / nb) % nb;
+            const int b = item % nb;
+            double acc = 0.0;
+            for (int i = 0; i < nq; ++i) {
+              const auto& p = kkdd[static_cast<std::size_t>(a_sp * nq + i)];
+              const double ear = tab.E(i, a, 0);
+              const double eaz = tab.E(i, a, 1);
+              acc += (ear * p.dd00 + eaz * p.dd01) * tab.E(i, b, 0) +
+                     (ear * p.dd01 + eaz * p.dd11) * tab.E(i, b, 1) +
+                     (ear * p.kk_r + eaz * p.kk_z) * tab.B(i, b);
+            }
+            ce[static_cast<std::size_t>(item)] = acc;
+          }
+        });
+        blk.sync();
+        scope.flops(static_cast<std::int64_t>(total) * nq * 13);
+        scope.dram(static_cast<std::int64_t>(total) * 8 * 2);
+
+        // Global assembly with atomics (§III-F).
+        ElementMatrices em;
+        em.n_species = ns;
+        em.nb = nb;
+        em.c.assign(ce.begin(), ce.end());
+        assemble_element(ctx, cell, em, j);
+      },
+      counters);
+}
+
+} // namespace landau::detail

@@ -1,0 +1,89 @@
+// The Kokkos formulation of the Landau Jacobian kernel: one league member
+// per element, team threads over integration points, and the inner integral
+// expressed as a parallel_reduce over vector lanes with a general C++
+// reducer object (InnerAccum) — the machinery the CUDA version spells out
+// with registers and warp shuffles is hidden in the reduction (§III-D).
+
+#include "core/jacobian.h"
+#include "core/kernel_math.h"
+#include "exec/kokkos_sim.h"
+
+namespace landau::detail {
+
+void landau_kernel_kokkos(exec::ThreadPool& pool, const JacobianContext& ctx, la::CsrMatrix& j,
+                          exec::KernelCounters* counters) {
+  namespace kk = exec::kokkos;
+  const auto& fes = *ctx.fes;
+  const auto& tab = fes.tabulation();
+  const auto& ip = *ctx.ip;
+  const int nq = tab.n_quad();
+  const int nb = tab.n_basis();
+  const int ns = ctx.species->size();
+  const std::size_t n = ip.n;
+
+  const kk::TeamPolicy policy{static_cast<int>(fes.n_cells()), nq, 32};
+
+  kk::parallel_for(pool, policy, [&](kk::TeamMember& member) {
+    exec::CounterScope scope(counters);
+    const auto cell = static_cast<std::size_t>(member.league_rank());
+    const auto geom = fes.geometry(cell);
+
+    // Team scratch: variable-length shared arrays (no compile-time sizing,
+    // unlike the CUDA version).
+    auto kkdd = member.team_scratch<PointCoeffs>(static_cast<std::size_t>(ns) * nq);
+    auto ce = member.team_scratch<double>(static_cast<std::size_t>(ns) * nb * nb);
+
+    // Integration points distributed over the team's threads.
+    member.team_range(nq, [&](int i) {
+      const std::size_t gi = ctx.ip_offset + cell * static_cast<std::size_t>(nq) + static_cast<std::size_t>(i);
+      InnerAccum g;
+      member.vector_reduce(
+          static_cast<int>(n),
+          [&](int jj, InnerAccum& acc) {
+            const auto sj = static_cast<std::size_t>(jj);
+            inner_point(ip.r[gi], ip.z[gi], ip.r[sj], ip.z[sj], ip.w[sj], &ip.f[sj],
+                        &ip.dfr[sj], &ip.dfz[sj], n, ns, ctx.q2.data(), ctx.q2_over_m.data(),
+                        &acc);
+          },
+          g);
+      for (int a = 0; a < ns; ++a)
+        kkdd[static_cast<std::size_t>(a * nq + i)] = transform_point(
+            g, ctx.nu0, ctx.q2[static_cast<std::size_t>(a)],
+            ctx.q2_over_m[static_cast<std::size_t>(a)],
+            ctx.q2_over_m2[static_cast<std::size_t>(a)], geom.jinv[0], geom.jinv[1], ip.w[gi]);
+    });
+    member.team_barrier();
+    scope.flops(static_cast<std::int64_t>(n) * nq * inner_flops(ns));
+    scope.dram(static_cast<std::int64_t>(n) * (3 + 3 * ns) * 8); // per-member stream
+    scope.shared(static_cast<std::int64_t>(n) * nq * (3 + 3 * ns) * 8);
+
+    // Transform & Assemble across the team.
+    member.team_range(ns * nb, [&](int item) {
+      const int a_sp = item / nb;
+      const int a = item % nb;
+      member.vector_range(nb, [&](int b) {
+        double acc = 0.0;
+        for (int i = 0; i < nq; ++i) {
+          const auto& p = kkdd[static_cast<std::size_t>(a_sp * nq + i)];
+          const double ear = tab.E(i, a, 0);
+          const double eaz = tab.E(i, a, 1);
+          acc += (ear * p.dd00 + eaz * p.dd01) * tab.E(i, b, 0) +
+                 (ear * p.dd01 + eaz * p.dd11) * tab.E(i, b, 1) +
+                 (ear * p.kk_r + eaz * p.kk_z) * tab.B(i, b);
+        }
+        ce[static_cast<std::size_t>((a_sp * nb + a) * nb + b)] = acc;
+      });
+    });
+    member.team_barrier();
+    scope.flops(static_cast<std::int64_t>(ns) * nb * nb * nq * 13);
+    scope.dram(static_cast<std::int64_t>(ns) * nb * nb * 8 * 2);
+
+    ElementMatrices em;
+    em.n_species = ns;
+    em.nb = nb;
+    em.c.assign(ce.begin(), ce.end());
+    assemble_element(ctx, cell, em, j);
+  });
+}
+
+} // namespace landau::detail

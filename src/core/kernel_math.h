@@ -1,0 +1,82 @@
+#pragma once
+// The per-integration-point math shared by all three Landau kernel back-ends
+// (Algorithm 1 lines 4-11 and 13-20). Keeping the arithmetic in one place
+// guarantees the back-ends differ only in loop organization and memory
+// staging — the paper's point about the CUDA and Kokkos versions.
+
+#include "core/jacobian.h"
+#include "core/landau_tensor.h"
+
+namespace landau::detail {
+
+/// Partial inner-integral accumulator of one thread: G_K (vector) and the
+/// symmetric G_D (tensor) of Algorithm 1 lines 10-11. Reducible: default
+/// constructible with operator+= (the Kokkos reducer requirement).
+struct InnerAccum {
+  double gk_r = 0, gk_z = 0;
+  double gd00 = 0, gd01 = 0, gd11 = 0;
+  InnerAccum& operator+=(const InnerAccum& o) {
+    gk_r += o.gk_r;
+    gk_z += o.gk_z;
+    gd00 += o.gd00;
+    gd01 += o.gd01;
+    gd11 += o.gd11;
+    return *this;
+  }
+};
+
+/// Flops per inner-loop iteration (tensor + species sums + accumulation),
+/// used by every back-end for consistent roofline accounting.
+inline int inner_flops(int n_species) { return kLandauTensor2DFlops + 6 * n_species + 14; }
+
+/// One (i, j) contribution to the inner integral: Algorithm 1 lines 4-11.
+/// The j-side data may point into shared-memory staging buffers (tiles).
+inline void inner_point(double ri, double zi, double rj, double zj, double wj,
+                        const double* f_j,   // [species] values at j (stride given)
+                        const double* dfr_j, // [species]
+                        const double* dfz_j, std::size_t stride, int n_species,
+                        const double* q2, const double* q2_over_m, InnerAccum* acc) {
+  Tensor2 uk, ud;
+  landau_tensor_2d(ri, zi, rj, zj, &uk, &ud);
+  double tk_r = 0, tk_z = 0, td = 0;
+  for (int b = 0; b < n_species; ++b) {
+    const std::size_t off = static_cast<std::size_t>(b) * stride;
+    tk_r += q2_over_m[b] * dfr_j[off];
+    tk_z += q2_over_m[b] * dfz_j[off];
+    td += q2[b] * f_j[off];
+  }
+  acc->gk_r += wj * (uk.m[0][0] * tk_r + uk.m[0][1] * tk_z);
+  acc->gk_z += wj * (uk.m[1][0] * tk_r + uk.m[1][1] * tk_z);
+  acc->gd00 += wj * td * ud.m[0][0];
+  acc->gd01 += wj * td * ud.m[0][1];
+  acc->gd11 += wj * td * ud.m[1][1];
+}
+
+/// Per-point per-species transform (Algorithm 1 lines 13-20): scale the
+/// reduced integrals by the species coefficients, map to the global basis
+/// with the (diagonal) inverse element Jacobian, and weight by w[gi].
+struct PointCoeffs {
+  double kk_r, kk_z;          // KK[alpha][i]
+  double dd00, dd01, dd11;    // DD[alpha][i] (symmetric)
+};
+
+inline PointCoeffs transform_point(const InnerAccum& g, double nu0, double q2a,
+                                   double q2a_over_ma, double q2a_over_ma2, double jinv0,
+                                   double jinv1, double wi) {
+  // wi is the packed weight qw * detJ * r; the outer measure carries the
+  // explicit 2 pi of the axisymmetric weak form (the inner 2 pi is already
+  // folded into the elliptic-integral tensors).
+  PointCoeffs p;
+  const double w2pi = 2.0 * 3.14159265358979323846 * wi;
+  const double ck = nu0 * q2a_over_ma;
+  const double cd = -nu0 * q2a_over_ma2;
+  (void)q2a;
+  p.kk_r = jinv0 * ck * g.gk_r * w2pi;
+  p.kk_z = jinv1 * ck * g.gk_z * w2pi;
+  p.dd00 = jinv0 * jinv0 * cd * g.gd00 * w2pi;
+  p.dd01 = jinv0 * jinv1 * cd * g.gd01 * w2pi;
+  p.dd11 = jinv1 * jinv1 * cd * g.gd11 * w2pi;
+  return p;
+}
+
+} // namespace landau::detail

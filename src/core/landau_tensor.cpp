@@ -1,0 +1,107 @@
+#include "core/landau_tensor.h"
+
+#include <cmath>
+
+#include "util/special_math.h"
+
+namespace landau {
+
+void landau_tensor_2d(double r, double z, double rp, double zp, Tensor2* uk,
+                      Tensor2* ud) noexcept {
+  const double dz = z - zp;
+  const double a = r * r + rp * rp + dz * dz;
+  if (a <= 0.0) {
+    *uk = Tensor2{};
+    *ud = Tensor2{};
+    return;
+  }
+  const double s = 2.0 * r * rp / a;
+  // Integrable singularity at coincident points (s -> 1, dz -> 0): follow the
+  // PETSc kernel and contribute zero from the diagonal.
+  if (s >= 1.0 - 1e-14 && std::abs(dz) < 1e-14 * std::sqrt(a)) {
+    *uk = Tensor2{};
+    *ud = Tensor2{};
+    return;
+  }
+  const double m = 2.0 * s / (1.0 + s);
+  double K, E;
+  elliptic_ke(m, &K, &E);
+
+  const double sq1s = std::sqrt(1.0 + s);
+  const double one_minus_s = 1.0 - s;
+  const double P0 = 4.0 * E / (one_minus_s * sq1s);
+  const double Q0 = 4.0 * K / sq1s;
+  const double R0 = 4.0 * sq1s * E;
+  double P1, P2;
+  if (s > 1e-3) {
+    P1 = (4.0 / (s * sq1s)) * (E / one_minus_s - K);
+    P2 = (P0 - 2.0 * Q0 + R0) / (s * s);
+  } else {
+    // Small-s series (axis limit r or r' -> 0): the closed forms above lose
+    // precision to cancellation (P1 like eps/s, P2 like eps/s^2). From the
+    // binomial expansion of (1 - s cos)^{-3/2}:
+    //   P1 = pi (3/2 s + 105/64 s^3 + O(s^5))
+    //   P2 = pi (1 + 45/32 s^2 + O(s^4)).
+    P1 = kPi * s * (1.5 + (105.0 / 64.0) * s * s);
+    P2 = kPi * (1.0 + (45.0 / 32.0) * s * s);
+  }
+
+  const double am32 = 1.0 / (a * std::sqrt(a));
+  const double off = -dz * (r * P0 - rp * P1) * am32;
+  const double d22 = ((r * r + rp * rp) * P0 - 2.0 * r * rp * P1) * am32;
+
+  ud->m[0][0] = (rp * rp * (P0 - P2) + dz * dz * P0) * am32;
+  ud->m[0][1] = off;
+  ud->m[1][0] = off;
+  ud->m[1][1] = d22;
+
+  uk->m[0][0] = (dz * dz * P1 + r * rp * (P0 - P2)) * am32;
+  uk->m[0][1] = off;
+  uk->m[1][0] = dz * (rp * P0 - r * P1) * am32;
+  uk->m[1][1] = d22;
+}
+
+std::array<std::array<double, 3>, 3> landau_tensor_3d(const std::array<double, 3>& v,
+                                                      const std::array<double, 3>& vbar) noexcept {
+  std::array<std::array<double, 3>, 3> u{};
+  const double ux = v[0] - vbar[0];
+  const double uy = v[1] - vbar[1];
+  const double uz = v[2] - vbar[2];
+  const double n2 = ux * ux + uy * uy + uz * uz;
+  if (n2 <= 0.0) return u;
+  const double inv3 = 1.0 / (n2 * std::sqrt(n2));
+  const double uu[3] = {ux, uy, uz};
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 3; ++j) u[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] =
+        ((i == j ? n2 : 0.0) - uu[i] * uu[j]) * inv3;
+  return u;
+}
+
+void landau_tensor_2d_quadrature(double r, double z, double rp, double zp, Tensor2* uk,
+                                 Tensor2* ud, int nphi) {
+  // Field point fixed at azimuth 0: v = (r, 0, z). Source point at azimuth
+  // phi: vbar = (r' cos, r' sin, z'). Integrate the 3D tensor over phi,
+  // projecting the source gradient direction for U^K:
+  //   grad_bar f = (cos phi f_r', sin phi f_r', f_z').
+  *uk = Tensor2{};
+  *ud = Tensor2{};
+  const double dphi = 2.0 * kPi / nphi;
+  for (int i = 0; i < nphi; ++i) {
+    const double phi = (i + 0.5) * dphi;
+    const double c = std::cos(phi), s = std::sin(phi);
+    const auto u = landau_tensor_3d({r, 0.0, z}, {rp * c, rp * s, zp});
+    // U^D: (x,z) block of the plain tensor (test/field gradient is (d_r, d_z)
+    // at azimuth 0; trial gradient likewise for the D term's outer f).
+    ud->m[0][0] += u[0][0] * dphi;
+    ud->m[0][1] += u[0][2] * dphi;
+    ud->m[1][0] += u[2][0] * dphi;
+    ud->m[1][1] += u[2][2] * dphi;
+    // U^K: source-gradient rotation.
+    uk->m[0][0] += (u[0][0] * c + u[0][1] * s) * dphi;
+    uk->m[0][1] += u[0][2] * dphi;
+    uk->m[1][0] += (u[2][0] * c + u[2][1] * s) * dphi;
+    uk->m[1][1] += u[2][2] * dphi;
+  }
+}
+
+} // namespace landau

@@ -1,0 +1,52 @@
+#include "core/species.h"
+
+namespace landau {
+
+double SpeciesSet::z_eff() const {
+  double num = 0.0, den = 0.0;
+  for (int s = 1; s < size(); ++s) {
+    const auto& sp = (*this)[s];
+    num += sp.density * sqr(sp.charge);
+    den += sp.density * sp.charge;
+  }
+  return den != 0.0 ? num / den : 0.0;
+}
+
+SpeciesSet SpeciesSet::electron_deuterium() {
+  // Deuteron mass 2 * 1836 m_e; both species at T_e with equal density.
+  return SpeciesSet({
+      {.name = "electron", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0},
+      {.name = "deuterium", .mass = 2.0 * 1836.15, .charge = 1.0, .density = 1.0, .temperature = 1.0},
+  });
+}
+
+SpeciesSet SpeciesSet::electron_ion(double z) {
+  LANDAU_ASSERT(z > 0, "ion charge must be positive");
+  // Quasi-neutrality: n_i Z = n_e. Ion mass ~ 2 Z proton masses (a light
+  // nucleus scaled with Z keeps the model simple; resistivity depends on Z
+  // through collisions, not the ion mass, which only sets the ion inertia).
+  return SpeciesSet({
+      {.name = "electron", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0},
+      {.name = "ion", .mass = 2.0 * 1836.15 * z, .charge = z, .density = 1.0 / z, .temperature = 1.0},
+  });
+}
+
+SpeciesSet SpeciesSet::tungsten_plasma() {
+  std::vector<Species> list;
+  list.push_back({.name = "electron", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0});
+  list.push_back(
+      {.name = "deuterium", .mass = 2.0 * 1836.15, .charge = 1.0, .density = 0.5, .temperature = 1.0});
+  // Eight tungsten charge states sharing the tungsten mass (183.84 u) and
+  // thermal temperature; densities chosen small and quasi-neutralizing.
+  const double mw = 183.84 * 1836.15;
+  double need = 0.5; // remaining electron charge to neutralize
+  for (int i = 0; i < 8; ++i) {
+    const double q = 40.0 + i;
+    const double n = need / (8.0 * q);
+    list.push_back({.name = "W" + std::to_string(40 + i), .mass = mw, .charge = q,
+                    .density = n, .temperature = 1.0});
+  }
+  return SpeciesSet(std::move(list));
+}
+
+} // namespace landau

@@ -1,0 +1,65 @@
+#pragma once
+// FLOP/byte instrumentation threaded through the compute kernels. The
+// roofline bench (paper Table IV) derives arithmetic intensity from these
+// counters instead of NSight Compute hardware metrics: AI is a property of
+// the algorithm and reproduces exactly in emulation.
+//
+// Counting is opt-in per kernel launch (pass nullptr to disable) and the
+// accounting calls are cheap relaxed atomics, so instrumented runs remain
+// usable for timing sanity checks (though reported times exclude them).
+
+#include <atomic>
+#include <cstdint>
+
+namespace landau::exec {
+
+/// Accumulators for one kernel's device-side work.
+struct KernelCounters {
+  std::atomic<std::int64_t> flops{0};
+  std::atomic<std::int64_t> dram_bytes{0};   // global-memory traffic (SoA loads/stores)
+  std::atomic<std::int64_t> shared_bytes{0}; // shared-memory traffic
+
+  void add_flops(std::int64_t n) { flops.fetch_add(n, std::memory_order_relaxed); }
+  void add_dram(std::int64_t n) { dram_bytes.fetch_add(n, std::memory_order_relaxed); }
+  void add_shared(std::int64_t n) { shared_bytes.fetch_add(n, std::memory_order_relaxed); }
+
+  void reset() {
+    flops.store(0);
+    dram_bytes.store(0);
+    shared_bytes.store(0);
+  }
+
+  /// Arithmetic intensity w.r.t. DRAM traffic (flops per byte).
+  double arithmetic_intensity() const {
+    const auto b = dram_bytes.load();
+    return b > 0 ? static_cast<double>(flops.load()) / static_cast<double>(b) : 0.0;
+  }
+};
+
+/// Per-call-site helper: counts only when the target is non-null.
+class CounterScope {
+public:
+  explicit CounterScope(KernelCounters* c) : c_(c) {}
+  void flops(std::int64_t n) {
+    if (c_) f_ += n;
+  }
+  void dram(std::int64_t n) {
+    if (c_) d_ += n;
+  }
+  void shared(std::int64_t n) {
+    if (c_) s_ += n;
+  }
+  ~CounterScope() {
+    if (c_) {
+      c_->add_flops(f_);
+      c_->add_dram(d_);
+      c_->add_shared(s_);
+    }
+  }
+
+private:
+  KernelCounters* c_;
+  std::int64_t f_ = 0, d_ = 0, s_ = 0;
+};
+
+} // namespace landau::exec

@@ -1,0 +1,48 @@
+#pragma once
+// Device descriptions for the emulated back-ends and the schedule simulator.
+// Peak numbers are the ones the paper uses for its roofline and
+// cross-machine normalizations (§V-A1, §V-D).
+
+#include <string>
+
+namespace landau::exec {
+
+/// Static description of one accelerator or CPU "device".
+struct DeviceSpec {
+  std::string name;
+  int n_sms = 1;                 // V100 SMs / MI100 CUs / CPU cores
+  double peak_fp64_tflops = 1.0; // DFMA peak
+  double peak_dram_gbs = 100.0;  // DRAM bandwidth
+  bool hw_fp64_atomics = true;   // MI100 lacks HW FP64 global atomicAdd (§V-D1)
+  double kernel_launch_us = 10.0;
+
+  /// Roofline turning point (flops/byte): AI above this is compute bound.
+  double roofline_knee() const { return peak_fp64_tflops * 1e12 / (peak_dram_gbs * 1e9); }
+};
+
+/// NVIDIA V100 (Summit): 80 SMs, 7.8 TF/s DFMA, 890 GB/s (paper §V-A1).
+inline DeviceSpec v100() {
+  return {.name = "V100", .n_sms = 80, .peak_fp64_tflops = 7.8, .peak_dram_gbs = 890.0,
+          .hw_fp64_atomics = true, .kernel_launch_us = 10.0};
+}
+
+/// AMD MI100 (Spock): 120 CUs, 11.5 TF/s peak, no HW FP64 global atomics.
+inline DeviceSpec mi100() {
+  return {.name = "MI100", .n_sms = 120, .peak_fp64_tflops = 11.5, .peak_dram_gbs = 1230.0,
+          .hw_fp64_atomics = false, .kernel_launch_us = 20.0};
+}
+
+/// Fujitsu A64FX node (Fugaku): 48 cores, 8 SVE lanes; treated as a manycore
+/// "device" whose league members map to OpenMP threads.
+inline DeviceSpec a64fx() {
+  return {.name = "A64FX", .n_sms = 48, .peak_fp64_tflops = 3.4, .peak_dram_gbs = 1024.0,
+          .hw_fp64_atomics = true, .kernel_launch_us = 1.0};
+}
+
+/// The host this emulation actually runs on.
+inline DeviceSpec host_cpu(int n_cores) {
+  return {.name = "host-cpu", .n_sms = n_cores, .peak_fp64_tflops = 0.05,
+          .peak_dram_gbs = 20.0, .hw_fp64_atomics = true, .kernel_launch_us = 0.5};
+}
+
+} // namespace landau::exec

@@ -1,0 +1,81 @@
+#pragma once
+// Kokkos-style portability layer on top of the same emulated substrate as
+// cuda_sim.h. Mirrors the subset of Kokkos the paper's kernel uses (§III-D):
+//
+//  * TeamPolicy(league_size, team_size, vector_length) — a league member maps
+//    to a CUDA block / an OpenMP thread; team threads map to threadIdx.y;
+//    vector lanes map to threadIdx.x / SVE lanes.
+//  * parallel_for over TeamThreadRange, parallel_reduce over
+//    ThreadVectorRange with reductions on general C++ objects equipped with a
+//    default constructor and operator+= ("join").
+//  * team scratch memory (variable-length shared arrays).
+//
+// Unlike the CUDA version, user code here never manages shuffle machinery —
+// the reduction is hidden in vector_reduce, exactly the contrast the paper
+// draws between its two implementations.
+
+#include <cstddef>
+#include <span>
+
+#include "exec/cuda_sim.h"
+#include "exec/thread_pool.h"
+
+namespace landau::exec::kokkos {
+
+struct TeamPolicy {
+  int league_size = 1;
+  int team_size = 1;     // "threads" (CUDA y-dimension / OpenMP chunks)
+  int vector_length = 1; // "vector lanes" (CUDA x-dimension / SVE lanes)
+};
+
+/// Handle given to the team functor; one per league member.
+class TeamMember {
+public:
+  TeamMember(int league_rank, const TeamPolicy& policy) : rank_(league_rank), policy_(policy) {}
+
+  int league_rank() const { return rank_; }
+  int league_size() const { return policy_.league_size; }
+  int team_size() const { return policy_.team_size; }
+  int vector_length() const { return policy_.vector_length; }
+
+  /// Team scratch (shared) memory; variable length, as Kokkos provides.
+  template <class T> std::span<T> team_scratch(std::size_t n) { return scratch_.alloc<T>(n); }
+
+  /// parallel_for(TeamThreadRange(member, n), f): distribute [0,n) over the
+  /// team's threads. Emulated as an ordered loop.
+  template <class F> void team_range(int n, F&& f) const {
+    for (int i = 0; i < n; ++i) f(i);
+  }
+
+  /// parallel_reduce(ThreadVectorRange(member, n), f, result): reduce over
+  /// vector lanes into any object with operator+= via f(i, update).
+  template <class F, class R> void vector_reduce(int n, F&& f, R& result) const {
+    R acc{};
+    for (int i = 0; i < n; ++i) f(i, acc);
+    result += acc;
+  }
+
+  /// parallel_for(ThreadVectorRange(member, n), f).
+  template <class F> void vector_range(int n, F&& f) const {
+    for (int i = 0; i < n; ++i) f(i);
+  }
+
+  void team_barrier() const {}
+
+private:
+  int rank_;
+  TeamPolicy policy_;
+  mutable Arena scratch_;
+};
+
+/// parallel_for over the league: each league member runs on one pool worker
+/// (one SM with the CUDA back-end, one OpenMP thread with the OpenMP one).
+template <class Functor>
+void parallel_for(ThreadPool& pool, const TeamPolicy& policy, Functor&& functor) {
+  pool.parallel_for(static_cast<std::size_t>(policy.league_size), [&](std::size_t rank) {
+    TeamMember member(static_cast<int>(rank), policy);
+    functor(member);
+  });
+}
+
+} // namespace landau::exec::kokkos

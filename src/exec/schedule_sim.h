@@ -1,0 +1,90 @@
+#pragma once
+// Discrete-event throughput simulator for the paper's node-level performance
+// experiments (Tables II, III, V, VI).
+//
+// The paper's harness runs P MPI processes per node, each asynchronously
+// solving an independent instance of the collision problem; processes share
+// CPU cores (up to 3-4 hardware threads/core), a GPU scheduled by MPS, and
+// node memory bandwidth. The figure of merit is throughput: Newton
+// iterations/second across all processes.
+//
+// On this single-core host those wall-clock scaling shapes cannot be
+// measured, so — per the substitution rule — we *simulate the schedule*: each
+// process is a repeating sequence of work segments whose serial durations are
+// measured from the real emulated kernels on this machine, and the simulator
+// replays them under processor-sharing resource models:
+//
+//  * Core: k resident hardware threads yield smt_throughput(k) total rate
+//    (calibrated to the paper's "modest but consistent gain" for 2nd/3rd HT),
+//  * Gpu: a kernel occupies `blocks` SMs; co-resident kernels (MPS) share the
+//    SM pool, with an oversubscription penalty once more than `max_resident`
+//    kernels are in flight (the Spock rollover, §V-D1),
+//  * Bandwidth: plain processor sharing of node memory bandwidth.
+//
+// The event loop advances to the next segment completion given current rates;
+// rates are recomputed whenever occupancy changes (standard PS-queue
+// simulation). Deterministic: no randomness anywhere.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace landau::exec {
+
+/// SMT throughput curve: total core throughput with k resident threads,
+/// relative to one thread. Index 0 unused; values beyond the last entry clamp.
+struct SmtModel {
+  std::vector<double> throughput{0.0, 1.0, 1.25, 1.29, 1.31};
+  double total_rate(int k) const;
+};
+
+/// GPU sharing model (one GPU).
+struct GpuModel {
+  int n_sms = 80;
+  int blocks_per_sm = 8;          // resident blocks per SM (2048 threads / 256-thread blocks)
+  int max_resident = 48;          // kernels co-resident before scheduling degrades
+  double oversub_penalty = 0.15;  // extra slowdown per kernel beyond max_resident
+  double launch_overhead = 10e-6; // seconds added to each kernel's service demand
+
+  /// Total resident-block capacity before kernels start sharing cycles.
+  int block_capacity() const { return n_sms * blocks_per_sm; }
+};
+
+/// One machine node.
+struct MachineModel {
+  std::string name;
+  int n_gpus = 1;
+  int cores = 7; // cores available per GPU (Summit: 7)
+  int hw_threads_per_core = 4;
+  SmtModel smt;
+  GpuModel gpu;
+  double membw_capacity = 8.0; // processes sharing bandwidth beyond this slow down
+};
+
+/// Segment kinds a process cycles through each Newton iteration.
+enum class ResourceKind { Core, Gpu, Bandwidth };
+
+struct Segment {
+  ResourceKind kind;
+  double work = 0.0; // seconds of service demand at full rate
+  int blocks = 1;    // SMs requested (Gpu segments only)
+};
+
+/// The per-iteration workload of one process, plus iteration count.
+struct ProcessWork {
+  std::vector<Segment> iteration; // executed in order, n_iterations times
+  int n_iterations = 1;
+};
+
+struct SimResult {
+  double makespan = 0.0;             // seconds until all processes finish
+  double iterations_per_second = 0.0; // total completed iterations / makespan
+  double gpu_busy_fraction = 0.0;     // utilization of GPU 0
+};
+
+/// Simulate `procs_per_core` processes on each of `cores_used` cores per GPU,
+/// across all GPUs of the machine. Each process runs `work` to completion.
+SimResult simulate_throughput(const MachineModel& machine, const ProcessWork& work,
+                              int cores_used, int procs_per_core);
+
+} // namespace landau::exec

@@ -1,0 +1,37 @@
+#include "exec/stream.h"
+
+namespace landau::exec {
+
+void Stream::enqueue(std::function<void()> task) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  queue_.push_back(std::move(task));
+  if (!running_) launch_next_locked();
+}
+
+void Stream::launch_next_locked() {
+  if (queue_.empty()) {
+    running_ = false;
+    cv_.notify_all();
+    return;
+  }
+  running_ = true;
+  auto task = std::move(queue_.front());
+  queue_.pop_front();
+  pool_.submit([this, task = std::move(task)] {
+    task();
+    std::lock_guard<std::mutex> lock(mutex_);
+    launch_next_locked();
+  });
+}
+
+void Stream::synchronize() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return !running_ && queue_.empty(); });
+}
+
+std::size_t Stream::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size() + (running_ ? 1 : 0);
+}
+
+} // namespace landau::exec

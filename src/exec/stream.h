@@ -1,0 +1,45 @@
+#pragma once
+// Asynchronous work streams — the execution analog of the paper's harness
+// (§V): many MPI processes independently launching kernels on a shared GPU,
+// scheduled by MPS. A Stream preserves FIFO order among its own tasks (one
+// process's kernels are ordered); different streams run concurrently on the
+// shared worker pool. The throughput benches use streams to overlap many
+// independent collision advances, which is how a configuration-space
+// application amortizes the per-vertex solves.
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+
+#include "exec/thread_pool.h"
+
+namespace landau::exec {
+
+class Stream {
+public:
+  explicit Stream(ThreadPool& pool) : pool_(pool) {}
+  ~Stream() { synchronize(); }
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueue a task; returns immediately. Tasks of this stream run in order.
+  void enqueue(std::function<void()> task);
+
+  /// Block until every task enqueued so far has completed.
+  void synchronize();
+
+  std::size_t pending() const;
+
+private:
+  void launch_next_locked(); // requires mutex_ held
+
+  ThreadPool& pool_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool running_ = false;
+};
+
+} // namespace landau::exec

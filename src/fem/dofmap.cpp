@@ -1,0 +1,249 @@
+#include "fem/dofmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "util/error.h"
+
+namespace landau::fem {
+namespace {
+
+using mesh::Edge;
+using mesh::Forest;
+
+/// Exact topological identity of a node (see header).
+struct NodeKey {
+  std::uint8_t type; // 0 corner-lattice, 1 vertical-edge, 2 horizontal-edge, 3 interior
+  std::uint8_t level;
+  std::uint8_t sub;
+  std::uint32_t a, b;
+  bool operator==(const NodeKey& o) const {
+    return type == o.type && level == o.level && sub == o.sub && a == o.a && b == o.b;
+  }
+};
+
+struct NodeKeyHash {
+  std::size_t operator()(const NodeKey& k) const {
+    std::uint64_t h = k.type;
+    h = h * 1000003u + k.level;
+    h = h * 1000003u + k.sub;
+    h = h * 1000003u + k.a;
+    h = h * 1000003u + k.b;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// If 1D node i sits on the half-integer lattice {0, 1/2, 1} of its cell,
+/// return twice that fraction (0, 1, 2); otherwise -1. GLL nodes are
+/// symmetric, so only the endpoints and (for even k) the center qualify.
+int lattice_coord(int i, int k) {
+  if (i == 0) return 0;
+  if (i == k) return 2;
+  if (k % 2 == 0 && i == k / 2) return 1;
+  return -1;
+}
+
+} // namespace
+
+DofMap::DofMap(const Forest& forest, const Tabulation& tab)
+    : order_(tab.order()), nb_(tab.n_basis()) {
+  const int k = order_;
+  const int n1 = k + 1;
+  const int L = forest.max_level();
+  const auto& leaves = forest.leaves();
+
+  std::unordered_map<NodeKey, std::int32_t, NodeKeyHash> ids;
+  cell_nodes_.assign(leaves.size() * static_cast<std::size_t>(nb_), -1);
+
+  auto make_key = [&](const mesh::Leaf& lf, int i, int j) -> NodeKey {
+    const int shift = L - lf.level;
+    const int lx = lattice_coord(i, k);
+    const int ly = lattice_coord(j, k);
+    NodeKey key{};
+    if (lx >= 0 && ly >= 0) {
+      key.type = 0;
+      key.a = (2u * lf.gx + static_cast<std::uint32_t>(lx)) << shift;
+      key.b = (2u * lf.gy + static_cast<std::uint32_t>(ly)) << shift;
+    } else if ((lx == 0 || lx == 2) && ly < 0) {
+      key.type = 1; // node on a vertical cell edge
+      key.level = static_cast<std::uint8_t>(lf.level);
+      key.sub = static_cast<std::uint8_t>(j);
+      key.a = (2u * lf.gx + static_cast<std::uint32_t>(lx)) << shift;
+      key.b = lf.gy;
+    } else if ((ly == 0 || ly == 2) && lx < 0) {
+      key.type = 2; // node on a horizontal cell edge
+      key.level = static_cast<std::uint8_t>(lf.level);
+      key.sub = static_cast<std::uint8_t>(i);
+      key.a = lf.gx;
+      key.b = (2u * lf.gy + static_cast<std::uint32_t>(ly)) << shift;
+    } else {
+      key.type = 3; // cell-interior (includes even-k midlines)
+      key.level = static_cast<std::uint8_t>(lf.level);
+      key.sub = static_cast<std::uint8_t>(j * n1 + i);
+      key.a = lf.gx;
+      key.b = lf.gy;
+    }
+    return key;
+  };
+
+  // Pass 1: enumerate nodes.
+  const auto& nodes1d = tab.basis_1d().nodes();
+  for (std::size_t c = 0; c < leaves.size(); ++c) {
+    const auto& lf = leaves[c];
+    for (int j = 0; j < n1; ++j)
+      for (int i = 0; i < n1; ++i) {
+        const NodeKey key = make_key(lf, i, j);
+        auto [it, inserted] = ids.try_emplace(key, static_cast<std::int32_t>(positions_.size()));
+        if (inserted) {
+          const double x = lf.box.x0 + lf.box.dx() * 0.5 * (nodes1d[static_cast<std::size_t>(i)] + 1.0);
+          const double y = lf.box.y0 + lf.box.dy() * 0.5 * (nodes1d[static_cast<std::size_t>(j)] + 1.0);
+          positions_.push_back({x, y});
+        }
+        cell_nodes_[c * static_cast<std::size_t>(nb_) + static_cast<std::size_t>(j * n1 + i)] =
+            it->second;
+      }
+  }
+
+  // Pass 2: hanging-node constraints (node-id space, possibly chained).
+  std::unordered_map<std::int32_t, std::vector<DofWeight>> raw;
+  std::vector<double> lweights(static_cast<std::size_t>(n1));
+  for (std::size_t c = 0; c < leaves.size(); ++c) {
+    const auto& lf = leaves[c];
+    for (int e = 0; e < 4; ++e) {
+      const auto edge = static_cast<Edge>(e);
+      const auto nb = forest.neighbor(c, edge);
+      if (nb.kind != Forest::NeighborInfo::Kind::Coarser) continue;
+
+      // Local node indices along my edge and the coarse cell's matching edge,
+      // both ordered by increasing coordinate along the edge.
+      auto my_local = [&](int m) {
+        switch (edge) {
+          case Edge::XLow: return m * n1;
+          case Edge::XHigh: return m * n1 + k;
+          case Edge::YLow: return m;
+          case Edge::YHigh: return k * n1 + m;
+        }
+        return 0;
+      };
+      auto coarse_local = [&](int m) {
+        switch (edge) {
+          case Edge::XLow: return m * n1 + k; // neighbor's XHigh edge
+          case Edge::XHigh: return m * n1;
+          case Edge::YLow: return k * n1 + m;
+          case Edge::YHigh: return m;
+        }
+        return 0;
+      };
+      const bool vertical = (edge == Edge::XLow || edge == Edge::XHigh);
+      const int half = vertical ? static_cast<int>(lf.gy & 1u) : static_cast<int>(lf.gx & 1u);
+
+      auto masters = cell_nodes(static_cast<std::size_t>(nb.leaf));
+      auto mine = cell_nodes(c);
+      for (int m = 0; m <= k; ++m) {
+        const std::int32_t node = mine[static_cast<std::size_t>(my_local(m))];
+        bool shared = false;
+        for (int j = 0; j <= k; ++j)
+          if (masters[static_cast<std::size_t>(coarse_local(j))] == node) shared = true;
+        if (shared) continue; // coincides with a coarse node (corner / even-k midpoint)
+        // My node's reference coordinate on the coarse edge:
+        // t_fine = (x_m+1)/2 in [0,1]; t_coarse = (half + t_fine)/2; ref = 2 t_coarse - 1.
+        const double tfine = 0.5 * (nodes1d[static_cast<std::size_t>(m)] + 1.0);
+        const double ref = half + tfine - 1.0;
+        tab.basis_1d().eval_all(ref, lweights.data());
+        std::vector<DofWeight> cons;
+        for (int j = 0; j <= k; ++j)
+          if (std::abs(lweights[static_cast<std::size_t>(j)]) > 1e-14)
+            cons.push_back({masters[static_cast<std::size_t>(coarse_local(j))],
+                            lweights[static_cast<std::size_t>(j)]});
+        raw[node] = std::move(cons); // identical if written from both fine siblings
+      }
+    }
+  }
+
+  // Pass 3: transitive resolution (masters strictly coarser => DAG).
+  std::unordered_map<std::int32_t, std::vector<DofWeight>> resolved;
+  std::function<const std::vector<DofWeight>&(std::int32_t)> resolve =
+      [&](std::int32_t node) -> const std::vector<DofWeight>& {
+    auto rit = resolved.find(node);
+    if (rit != resolved.end()) return rit->second;
+    auto cit = raw.find(node);
+    std::vector<DofWeight> out;
+    if (cit == raw.end()) {
+      out.push_back({node, 1.0});
+    } else {
+      for (const auto& [master, w] : cit->second)
+        for (const auto& [mnode, mw] : resolve(master)) {
+          bool merged = false;
+          for (auto& dw : out)
+            if (dw.dof == mnode) {
+              dw.weight += w * mw;
+              merged = true;
+              break;
+            }
+          if (!merged) out.push_back({mnode, w * mw});
+        }
+    }
+    return resolved.emplace(node, std::move(out)).first->second;
+  };
+
+  // Pass 4: number free nodes, build closures over free-dof indices.
+  const std::size_t n_nodes_total = positions_.size();
+  free_index_.assign(n_nodes_total, -1);
+  n_free_ = 0;
+  for (std::size_t n = 0; n < n_nodes_total; ++n)
+    if (!raw.count(static_cast<std::int32_t>(n)))
+      free_index_[n] = static_cast<std::int32_t>(n_free_++);
+
+  closure_ranges_.resize(n_nodes_total);
+  for (std::size_t n = 0; n < n_nodes_total; ++n) {
+    const auto node = static_cast<std::int32_t>(n);
+    const std::size_t offset = closure_data_.size();
+    if (free_index_[n] >= 0) {
+      closure_data_.push_back({free_index_[n], 1.0});
+    } else {
+      for (const auto& [mnode, w] : resolve(node)) {
+        const std::int32_t fd = free_index_[static_cast<std::size_t>(mnode)];
+        LANDAU_ASSERT(fd >= 0, "constraint chain did not terminate at a free node");
+        closure_data_.push_back({fd, w});
+      }
+    }
+    closure_ranges_[n] = {offset, closure_data_.size() - offset};
+  }
+}
+
+void DofMap::expand(std::span<const double> free_values, std::span<double> node_values) const {
+  LANDAU_ASSERT(free_values.size() == n_free_ && node_values.size() == n_nodes(),
+                "expand size mismatch");
+  for (std::size_t n = 0; n < n_nodes(); ++n) {
+    double v = 0.0;
+    for (const auto& [dof, w] : closure(static_cast<std::int32_t>(n)))
+      v += w * free_values[static_cast<std::size_t>(dof)];
+    node_values[n] = v;
+  }
+}
+
+void DofMap::restrict_add(std::span<const double> node_values,
+                          std::span<double> free_values) const {
+  LANDAU_ASSERT(free_values.size() == n_free_ && node_values.size() == n_nodes(),
+                "restrict size mismatch");
+  for (std::size_t n = 0; n < n_nodes(); ++n)
+    for (const auto& [dof, w] : closure(static_cast<std::int32_t>(n)))
+      free_values[static_cast<std::size_t>(dof)] += w * node_values[n];
+}
+
+std::vector<std::int32_t> DofMap::cell_free_dofs(std::size_t c) const {
+  std::vector<std::int32_t> dofs;
+  for (auto node : cell_nodes(c))
+    for (const auto& [dof, w] : closure(node)) {
+      (void)w;
+      if (std::find(dofs.begin(), dofs.end(), dof) == dofs.end()) dofs.push_back(dof);
+    }
+  std::sort(dofs.begin(), dofs.end());
+  return dofs;
+}
+
+} // namespace landau::fem

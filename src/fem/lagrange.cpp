@@ -1,0 +1,96 @@
+#include "fem/lagrange.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace landau::fem {
+
+std::vector<double> gauss_lobatto_nodes(int order) {
+  LANDAU_ASSERT(order >= 1 && order <= 16, "unsupported element order " << order);
+  const int n = order + 1;
+  std::vector<double> x(static_cast<std::size_t>(n));
+  x[0] = -1.0;
+  x[static_cast<std::size_t>(n - 1)] = 1.0;
+  // Interior GLL nodes are the roots of P'_{n-1}; Newton from Chebyshev guess.
+  for (int i = 1; i < n - 1; ++i) {
+    double xi = -std::cos(M_PI * i / (n - 1));
+    for (int it = 0; it < 100; ++it) {
+      // P_{n-1}(xi) and derivatives by recurrence.
+      double p0 = 1.0, p1 = xi;
+      for (int k = 2; k <= n - 1; ++k) {
+        const double p2 = ((2.0 * k - 1.0) * xi * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      const double m = n - 1;
+      const double dp = m * (xi * p1 - p0) / (xi * xi - 1.0);        // P'_{n-1}
+      const double d2p = (2.0 * xi * dp - m * (m + 1.0) * p1) / (1.0 - xi * xi); // P''_{n-1}
+      const double dx = -dp / d2p;
+      xi += dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    x[static_cast<std::size_t>(i)] = xi;
+  }
+  // Enforce exact symmetry (the dof map relies on the center node of even
+  // orders being exactly 0 and on mirrored nodes being exact negatives).
+  for (int i = 0; i < n / 2; ++i)
+    x[static_cast<std::size_t>(i)] = -x[static_cast<std::size_t>(n - 1 - i)];
+  if (n % 2 == 1) x[static_cast<std::size_t>(n / 2)] = 0.0;
+  return x;
+}
+
+Lagrange1D::Lagrange1D(int order) : order_(order), nodes_(gauss_lobatto_nodes(order)) {
+  const int n = n_nodes();
+  bary_.assign(static_cast<std::size_t>(n), 1.0);
+  for (int j = 0; j < n; ++j) {
+    double w = 1.0;
+    for (int i = 0; i < n; ++i)
+      if (i != j) w *= nodes_[static_cast<std::size_t>(j)] - nodes_[static_cast<std::size_t>(i)];
+    bary_[static_cast<std::size_t>(j)] = 1.0 / w;
+  }
+}
+
+double Lagrange1D::eval(int j, double x) const {
+  const int n = n_nodes();
+  // Exact hit on a node.
+  for (int i = 0; i < n; ++i)
+    if (x == nodes_[static_cast<std::size_t>(i)]) return i == j ? 1.0 : 0.0;
+  // l_j(x) = w_j/(x-x_j) * prod_i (x-x_i).
+  double prod = 1.0;
+  for (int i = 0; i < n; ++i) prod *= x - nodes_[static_cast<std::size_t>(i)];
+  return prod * bary_[static_cast<std::size_t>(j)] / (x - nodes_[static_cast<std::size_t>(j)]);
+}
+
+double Lagrange1D::eval_deriv(int j, double x) const {
+  // l_j'(x) = l_j(x) * sum_{i != j} 1/(x - x_i) away from nodes; at a node use
+  // the standard differentiation-matrix formulas.
+  const int n = n_nodes();
+  for (int m = 0; m < n; ++m) {
+    if (x == nodes_[static_cast<std::size_t>(m)]) {
+      if (m == j) {
+        double s = 0.0;
+        for (int i = 0; i < n; ++i)
+          if (i != j) s += 1.0 / (x - nodes_[static_cast<std::size_t>(i)]);
+        return s;
+      }
+      // D[m][j] = (w_j / w_m) / (x_m - x_j)
+      return (bary_[static_cast<std::size_t>(j)] / bary_[static_cast<std::size_t>(m)]) /
+             (nodes_[static_cast<std::size_t>(m)] - nodes_[static_cast<std::size_t>(j)]);
+    }
+  }
+  double s = 0.0;
+  for (int i = 0; i < n; ++i)
+    if (i != j) s += 1.0 / (x - nodes_[static_cast<std::size_t>(i)]);
+  return eval(j, x) * s;
+}
+
+void Lagrange1D::eval_all(double x, double* values) const {
+  for (int j = 0; j < n_nodes(); ++j) values[j] = eval(j, x);
+}
+
+void Lagrange1D::eval_deriv_all(double x, double* derivs) const {
+  for (int j = 0; j < n_nodes(); ++j) derivs[j] = eval_deriv(j, x);
+}
+
+} // namespace landau::fem

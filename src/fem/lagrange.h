@@ -1,0 +1,38 @@
+#pragma once
+// 1D nodal Lagrange basis of order k on Gauss-Lobatto-Legendre nodes in
+// [-1,1]. GLL nodes include the endpoints (needed for C0 continuity across
+// cells) and keep the interpolation well-conditioned at high order. Basis
+// values and derivatives are evaluated with the barycentric formula.
+
+#include <vector>
+
+namespace landau::fem {
+
+class Lagrange1D {
+public:
+  /// Order k >= 1 (k+1 nodes).
+  explicit Lagrange1D(int order);
+
+  int order() const { return order_; }
+  int n_nodes() const { return order_ + 1; }
+  const std::vector<double>& nodes() const { return nodes_; }
+
+  /// Value of basis function j at x.
+  double eval(int j, double x) const;
+  /// Derivative of basis function j at x.
+  double eval_deriv(int j, double x) const;
+
+  /// Evaluate all basis functions (and derivatives) at x.
+  void eval_all(double x, double* values) const;
+  void eval_deriv_all(double x, double* derivs) const;
+
+private:
+  int order_;
+  std::vector<double> nodes_;
+  std::vector<double> bary_; // barycentric weights
+};
+
+/// Gauss-Lobatto-Legendre nodes for order k (k+1 nodes including endpoints).
+std::vector<double> gauss_lobatto_nodes(int order);
+
+} // namespace landau::fem

@@ -1,0 +1,53 @@
+#include "fem/quadrature.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace landau::fem {
+
+Quadrature1D gauss_legendre(int n) {
+  LANDAU_ASSERT(n >= 1 && n <= 64, "unsupported quadrature order " << n);
+  Quadrature1D q;
+  q.points.resize(static_cast<std::size_t>(n));
+  q.weights.resize(static_cast<std::size_t>(n));
+  // Newton iteration on P_n from the Chebyshev initial guess; standard
+  // Golub-Welsch-free construction, accurate to machine precision for n<=64.
+  for (int i = 0; i < n; ++i) {
+    double x = std::cos(M_PI * (i + 0.75) / (n + 0.5));
+    double pp = 0.0;
+    for (int it = 0; it < 100; ++it) {
+      // Evaluate P_n(x) and P_n'(x) by recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= n; ++k) {
+        const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      pp = n * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = -p1 / pp;
+      x += dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    q.points[static_cast<std::size_t>(n - 1 - i)] = x;
+    q.weights[static_cast<std::size_t>(n - 1 - i)] = 2.0 / ((1.0 - x * x) * pp * pp);
+  }
+  return q;
+}
+
+Quadrature2D tensor_quadrature(int n) {
+  const Quadrature1D q1 = gauss_legendre(n);
+  Quadrature2D q;
+  q.x.reserve(static_cast<std::size_t>(n * n));
+  q.y.reserve(static_cast<std::size_t>(n * n));
+  q.w.reserve(static_cast<std::size_t>(n * n));
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) {
+      q.x.push_back(q1.points[static_cast<std::size_t>(i)]);
+      q.y.push_back(q1.points[static_cast<std::size_t>(j)]);
+      q.w.push_back(q1.weights[static_cast<std::size_t>(i)] * q1.weights[static_cast<std::size_t>(j)]);
+    }
+  return q;
+}
+
+} // namespace landau::fem

@@ -1,0 +1,27 @@
+#pragma once
+// Gauss-Legendre quadrature on [-1,1] and its tensor product on the
+// reference square. Qk tensor elements use (k+1)^2 points per cell, e.g.
+// Nq = 16 for the paper's Q3 elements.
+
+#include <vector>
+
+namespace landau::fem {
+
+struct Quadrature1D {
+  std::vector<double> points;  // in [-1,1]
+  std::vector<double> weights; // sum to 2
+};
+
+/// n-point Gauss-Legendre rule (exact for polynomials of degree 2n-1).
+Quadrature1D gauss_legendre(int n);
+
+struct Quadrature2D {
+  std::vector<double> x, y; // nq points on [-1,1]^2, x-fastest ordering
+  std::vector<double> w;    // weights, sum to 4
+  int nq() const { return static_cast<int>(w.size()); }
+};
+
+/// Tensor product of two n-point Gauss-Legendre rules.
+Quadrature2D tensor_quadrature(int n);
+
+} // namespace landau::fem

@@ -1,0 +1,53 @@
+#include "fem/tabulation.h"
+
+#include <vector>
+
+namespace landau::fem {
+
+Tabulation::Tabulation(int order)
+    : order_(order),
+      nb_((order + 1) * (order + 1)),
+      nq_((order + 1) * (order + 1)),
+      basis_(order),
+      quad_(tensor_quadrature(order + 1)) {
+  b_.resize(static_cast<std::size_t>(nq_ * nb_));
+  e_.resize(static_cast<std::size_t>(nq_ * nb_ * 2));
+  for (int q = 0; q < nq_; ++q) {
+    std::vector<double> vals(static_cast<std::size_t>(nb_));
+    std::vector<double> grads(static_cast<std::size_t>(nb_ * 2));
+    eval_basis(qx(q), qy(q), vals.data());
+    eval_basis_grad(qx(q), qy(q), grads.data());
+    for (int b = 0; b < nb_; ++b) {
+      b_[static_cast<std::size_t>(q * nb_ + b)] = vals[static_cast<std::size_t>(b)];
+      e_[static_cast<std::size_t>((q * nb_ + b) * 2 + 0)] = grads[static_cast<std::size_t>(b * 2 + 0)];
+      e_[static_cast<std::size_t>((q * nb_ + b) * 2 + 1)] = grads[static_cast<std::size_t>(b * 2 + 1)];
+    }
+  }
+}
+
+void Tabulation::eval_basis(double x, double y, double* values) const {
+  const int n1 = order_ + 1;
+  std::vector<double> lx(static_cast<std::size_t>(n1)), ly(static_cast<std::size_t>(n1));
+  basis_.eval_all(x, lx.data());
+  basis_.eval_all(y, ly.data());
+  for (int j = 0; j < n1; ++j)
+    for (int i = 0; i < n1; ++i)
+      values[j * n1 + i] = lx[static_cast<std::size_t>(i)] * ly[static_cast<std::size_t>(j)];
+}
+
+void Tabulation::eval_basis_grad(double x, double y, double* grads) const {
+  const int n1 = order_ + 1;
+  std::vector<double> lx(static_cast<std::size_t>(n1)), ly(static_cast<std::size_t>(n1));
+  std::vector<double> dx(static_cast<std::size_t>(n1)), dy(static_cast<std::size_t>(n1));
+  basis_.eval_all(x, lx.data());
+  basis_.eval_all(y, ly.data());
+  basis_.eval_deriv_all(x, dx.data());
+  basis_.eval_deriv_all(y, dy.data());
+  for (int j = 0; j < n1; ++j)
+    for (int i = 0; i < n1; ++i) {
+      grads[(j * n1 + i) * 2 + 0] = dx[static_cast<std::size_t>(i)] * ly[static_cast<std::size_t>(j)];
+      grads[(j * n1 + i) * 2 + 1] = lx[static_cast<std::size_t>(i)] * dy[static_cast<std::size_t>(j)];
+    }
+}
+
+} // namespace landau::fem

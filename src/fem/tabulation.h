@@ -1,0 +1,53 @@
+#pragma once
+// Finite element tabulation for tensor-product Qk elements on the reference
+// square: basis values B and reference gradients E at the tensor
+// Gauss-Legendre quadrature points. These are the "B" and "E" tables passed
+// to the GPU kernel in Algorithm 1. Nq == Nb for these elements (e.g. 16 for
+// Q3), as the paper notes.
+
+#include <vector>
+
+#include "fem/lagrange.h"
+#include "fem/quadrature.h"
+
+namespace landau::fem {
+
+class Tabulation {
+public:
+  explicit Tabulation(int order);
+
+  int order() const { return order_; }
+  int n_basis() const { return nb_; } // (k+1)^2, node x-fastest
+  int n_quad() const { return nq_; }  // (k+1)^2, point x-fastest
+
+  /// Basis value B[q][b].
+  double B(int q, int b) const { return b_[static_cast<std::size_t>(q * nb_ + b)]; }
+  /// Reference gradient E[q][b][d], d in {0,1}.
+  double E(int q, int b, int d) const {
+    return e_[static_cast<std::size_t>((q * nb_ + b) * 2 + d)];
+  }
+
+  /// Quadrature point coordinates and weights on [-1,1]^2.
+  double qx(int q) const { return quad_.x[static_cast<std::size_t>(q)]; }
+  double qy(int q) const { return quad_.y[static_cast<std::size_t>(q)]; }
+  double qw(int q) const { return quad_.w[static_cast<std::size_t>(q)]; }
+
+  /// Reference coordinates of node b.
+  double node_x(int b) const { return basis_.nodes()[static_cast<std::size_t>(b % (order_ + 1))]; }
+  double node_y(int b) const { return basis_.nodes()[static_cast<std::size_t>(b / (order_ + 1))]; }
+
+  const Lagrange1D& basis_1d() const { return basis_; }
+
+  /// Evaluate all 2D basis functions at an arbitrary reference point.
+  void eval_basis(double x, double y, double* values) const;
+  void eval_basis_grad(double x, double y, double* grads /* nb x 2 */) const;
+
+private:
+  int order_, nb_, nq_;
+  Lagrange1D basis_;
+  Quadrature2D quad_;
+  std::vector<double> b_; // nq x nb
+  std::vector<double> e_; // nq x nb x 2
+};
+
+} // namespace landau::fem

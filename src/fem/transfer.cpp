@@ -1,0 +1,60 @@
+#include "fem/transfer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace landau::fem {
+
+double eval_point(const FESpace& space, std::span<const double> dofs, double r, double z) {
+  const int cell = space.forest().find_point(r, z);
+  if (cell < 0) return 0.0;
+  const auto g = space.geometry(static_cast<std::size_t>(cell));
+  const double rx = std::clamp(2.0 * (r - g.x0) / g.dx - 1.0, -1.0, 1.0);
+  const double ry = std::clamp(2.0 * (z - g.y0) / g.dy - 1.0, -1.0, 1.0);
+  const auto& tab = space.tabulation();
+  std::vector<double> vals(static_cast<std::size_t>(tab.n_basis()));
+  tab.eval_basis(rx, ry, vals.data());
+  // Nodal values (constraints applied) gathered for this cell only.
+  const auto& dm = space.dofmap();
+  const auto nodes = dm.cell_nodes(static_cast<std::size_t>(cell));
+  double v = 0.0;
+  for (int b = 0; b < tab.n_basis(); ++b) {
+    double coeff = 0.0;
+    for (const auto& [dof, w] : dm.closure(nodes[static_cast<std::size_t>(b)]))
+      coeff += w * dofs[static_cast<std::size_t>(dof)];
+    v += vals[static_cast<std::size_t>(b)] * coeff;
+  }
+  return v;
+}
+
+la::Vec transfer(const FESpace& from, std::span<const double> dofs, const FESpace& to) {
+  LANDAU_ASSERT(dofs.size() == from.n_dofs(), "transfer: source dof count mismatch");
+  return to.interpolate(
+      [&](double r, double z) { return eval_point(from, dofs, r, z); });
+}
+
+std::function<bool(const mesh::Box&, int)> gradient_indicator(const FESpace& space,
+                                                              std::span<const double> dofs,
+                                                              double tol, int max_level) {
+  // Precompute the global scale once.
+  double fmax = 0.0;
+  for (double v : dofs) fmax = std::max(fmax, std::abs(v));
+  const double threshold = tol * std::max(fmax, 1e-300);
+  // Copy the dofs so the indicator outlives the caller's vector.
+  std::vector<double> copy(dofs.begin(), dofs.end());
+  const FESpace* sp = &space;
+  return [sp, copy = std::move(copy), threshold, max_level](const mesh::Box& b, int level) {
+    if (level >= max_level) return false;
+    // Field range across the cell corners and center.
+    double lo = 1e300, hi = -1e300;
+    for (auto [x, y] : {std::pair{b.x0, b.y0}, {b.x1, b.y0}, {b.x0, b.y1}, {b.x1, b.y1},
+                        {b.cx(), b.cy()}}) {
+      const double v = eval_point(*sp, copy, x, y);
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    return hi - lo > threshold;
+  };
+}
+
+} // namespace landau::fem

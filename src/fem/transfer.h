@@ -1,0 +1,31 @@
+#pragma once
+// Mesh-to-mesh field transfer for solution-driven regridding: after the
+// distribution function evolves (e.g. the quench's cold bulk + hot tail),
+// the AMR front end builds a better-adapted forest and the state moves to
+// the new space. Transfer is by nodal interpolation of the old FE function
+// (point location in the old forest + basis evaluation), which is exact
+// whenever the new space resolves the old one — in particular under pure
+// refinement, where the spaces are nested.
+
+#include <functional>
+
+#include "fem/fespace.h"
+#include "la/vec.h"
+
+namespace landau::fem {
+
+/// Evaluate an FE function (free-dof vector) at an arbitrary physical point.
+/// Points outside the old domain evaluate to 0 (velocity-space tails).
+double eval_point(const FESpace& space, std::span<const double> dofs, double r, double z);
+
+/// Interpolate a field from one space onto another.
+la::Vec transfer(const FESpace& from, std::span<const double> dofs, const FESpace& to);
+
+/// Gradient-based refinement indicator for regridding: marks a cell when the
+/// field's range across its nodes exceeds `tol` times the field's global
+/// max. Use with Forest::refine_where through mesh rebuild.
+std::function<bool(const mesh::Box&, int)> gradient_indicator(const FESpace& space,
+                                                              std::span<const double> dofs,
+                                                              double tol, int max_level);
+
+} // namespace landau::fem

@@ -1,0 +1,151 @@
+#include "la/band.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/rcm.h"
+#include "util/error.h"
+
+namespace landau::la {
+
+BandMatrix BandMatrix::from_csr(const CsrMatrix& a, const std::vector<std::int32_t>& perm,
+                                std::size_t row_begin, std::size_t row_end) {
+  LANDAU_ASSERT(row_end <= perm.size() && row_begin <= row_end, "bad block range");
+  const std::size_t n = row_end - row_begin;
+  auto inv = invert_permutation(perm);
+  auto rowptr = a.row_offsets();
+  auto colind = a.col_indices();
+
+  // First pass: band widths of the permuted block.
+  std::size_t lbw = 0, ubw = 0;
+  for (std::size_t pi = row_begin; pi < row_end; ++pi) {
+    const auto i = static_cast<std::size_t>(perm[pi]);
+    for (std::int32_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const auto pj = static_cast<std::size_t>(inv[static_cast<std::size_t>(colind[k])]);
+      LANDAU_ASSERT(pj >= row_begin && pj < row_end,
+                    "matrix entry couples across block boundary: (" << pi << "," << pj << ")");
+      if (pj < pi)
+        lbw = std::max(lbw, pi - pj);
+      else
+        ubw = std::max(ubw, pj - pi);
+    }
+  }
+
+  BandMatrix b(n, lbw, ubw);
+  for (std::size_t pi = row_begin; pi < row_end; ++pi) {
+    const auto i = static_cast<std::size_t>(perm[pi]);
+    for (std::int32_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const auto pj = static_cast<std::size_t>(inv[static_cast<std::size_t>(colind[k])]);
+      b.at(pi - row_begin, pj - row_begin) = a.values()[k];
+    }
+  }
+  return b;
+}
+
+std::int64_t BandMatrix::factor_lu() {
+  // Outer-product banded LU without pivoting (Golub & Van Loan 4.3.1):
+  // for each column k, scale the sub-column by 1/pivot and apply a B x B
+  // rank-one update to the dense sub-block A(k+1:k+lbw, k+1:k+ubw).
+  std::int64_t flops = 0;
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double piv = at(k, k);
+    if (std::abs(piv) < 1e-300) LANDAU_THROW("zero pivot in banded LU at row " << k);
+    const double inv = 1.0 / piv;
+    const std::size_t imax = std::min(n_ - 1, k + lbw_);
+    const std::size_t jmax = std::min(n_ - 1, k + ubw_);
+    for (std::size_t i = k + 1; i <= imax && i < n_; ++i) {
+      const double m = at(i, k) * inv;
+      at(i, k) = m;
+      ++flops;
+      for (std::size_t j = k + 1; j <= jmax; ++j) {
+        at(i, j) -= m * at(k, j);
+        flops += 2;
+      }
+    }
+  }
+  return flops;
+}
+
+void BandMatrix::solve(const Vec& b, Vec& x) const {
+  LANDAU_ASSERT(b.size() == n_ && x.size() == n_, "band solve size mismatch");
+  if (&x != &b) std::copy(b.begin(), b.end(), x.begin());
+  // Forward: L (unit diagonal) y = b.
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j0 = i > lbw_ ? i - lbw_ : 0;
+    double s = x[i];
+    for (std::size_t j = j0; j < i; ++j) s -= at(i, j) * x[j];
+    x[i] = s;
+  }
+  // Backward: U x = y.
+  for (std::size_t i = n_; i-- > 0;) {
+    const std::size_t j1 = std::min(n_ - 1, i + ubw_);
+    double s = x[i];
+    for (std::size_t j = i + 1; j <= j1; ++j) s -= at(i, j) * x[j];
+    x[i] = s / at(i, i);
+  }
+}
+
+void BandMatrix::mult(const Vec& x, Vec& y) const {
+  LANDAU_ASSERT(x.size() == n_ && y.size() == n_, "band mult size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::size_t j0 = i > lbw_ ? i - lbw_ : 0;
+    const std::size_t j1 = std::min(n_ - 1, i + ubw_);
+    double s = 0.0;
+    for (std::size_t j = j0; j <= j1; ++j) s += at(i, j) * x[j];
+    y[i] = s;
+  }
+}
+
+void BlockBandSolver::analyze(const CsrMatrix& a) {
+  perm_ = rcm_ordering(a);
+  inv_ = invert_permutation(perm_);
+  bandwidth_ = permuted_bandwidth(a, perm_);
+
+  // RCM emits each connected component contiguously; find the boundaries.
+  std::int32_t nc = 0;
+  auto comp = connected_components(a, &nc);
+  blocks_.clear();
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= perm_.size(); ++i) {
+    const bool boundary = (i == perm_.size()) ||
+                          comp[static_cast<std::size_t>(perm_[i])] !=
+                              comp[static_cast<std::size_t>(perm_[begin])];
+    if (boundary) {
+      Block blk;
+      blk.begin = begin;
+      blk.end = i;
+      blocks_.push_back(std::move(blk));
+      begin = i;
+    }
+  }
+  LANDAU_ASSERT(blocks_.size() == static_cast<std::size_t>(nc),
+                "RCM did not emit components contiguously");
+}
+
+void BlockBandSolver::factor(const CsrMatrix& a) {
+  LANDAU_ASSERT(analyzed(), "call analyze() before factor()");
+  LANDAU_ASSERT(a.rows() == perm_.size(), "matrix size changed since analyze()");
+  // Each diagonal block (one species' subsystem, §III-G) factors
+  // independently; on a GPU each would occupy one or more SMs.
+  for (auto& blk : blocks_) {
+    blk.lu = BandMatrix::from_csr(a, perm_, blk.begin, blk.end);
+    blk.lu.factor_lu();
+  }
+}
+
+void BlockBandSolver::solve(const Vec& b, Vec& x) const {
+  LANDAU_ASSERT(b.size() == perm_.size() && x.size() == perm_.size(), "solve size mismatch");
+  Vec pb, px;
+  for (const auto& blk : blocks_) {
+    const std::size_t n = blk.end - blk.begin;
+    pb.resize(n);
+    px.resize(n);
+    for (std::size_t i = 0; i < n; ++i)
+      pb[i] = b[static_cast<std::size_t>(perm_[blk.begin + i])];
+    blk.lu.solve(pb, px);
+    for (std::size_t i = 0; i < n; ++i)
+      x[static_cast<std::size_t>(perm_[blk.begin + i])] = px[i];
+  }
+}
+
+} // namespace landau::la

@@ -1,0 +1,148 @@
+#include "la/band_device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/rcm.h"
+#include "util/error.h"
+
+namespace landau::la {
+
+void device_band_factor(exec::ThreadPool& pool, std::span<BandMatrix*> systems,
+                        exec::KernelCounters* counters) {
+  const exec::Dim3 block{64, 1, 1};
+  exec::launch(
+      pool, static_cast<int>(systems.size()), block,
+      [&](exec::Block& blk) {
+        exec::CounterScope scope(blk.counters());
+        BandMatrix& a = *systems[static_cast<std::size_t>(blk.block_idx())];
+        const std::size_t n = a.size();
+        const std::size_t lbw = a.lower_bandwidth();
+        const std::size_t ubw = a.upper_bandwidth();
+        // Outer-product banded LU: the k loop is sequential (each pivot
+        // column depends on the previous update); rows of the rank-1 update
+        // are independent and stride across the lanes.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double piv = a.at(k, k);
+          if (std::abs(piv) < 1e-300) LANDAU_THROW("zero pivot in device band LU at row " << k);
+          const double inv = 1.0 / piv;
+          const std::size_t imax = std::min(n - 1, k + lbw);
+          const std::size_t jmax = std::min(n - 1, k + ubw);
+          blk.threads([&](exec::ThreadIdx t) {
+            for (std::size_t i = k + 1 + static_cast<std::size_t>(t.x); i <= imax && i < n;
+                 i += static_cast<std::size_t>(blk.block_dim().x)) {
+              const double m = a.at(i, k) * inv;
+              a.at(i, k) = m;
+              for (std::size_t j = k + 1; j <= jmax; ++j) a.at(i, j) -= m * a.at(k, j);
+            }
+          });
+          blk.sync(); // grid-group sync in the hardware version (§III-G)
+          scope.flops(static_cast<std::int64_t>(imax - k) * (1 + 2 * static_cast<std::int64_t>(jmax - k)));
+        }
+        scope.dram(static_cast<std::int64_t>(n) * static_cast<std::int64_t>(lbw + ubw + 1) * 8 * 2);
+      },
+      counters);
+}
+
+void device_band_solve(exec::ThreadPool& pool, std::span<BandMatrix* const> systems,
+                       std::span<Vec*> x, exec::KernelCounters* counters) {
+  LANDAU_ASSERT(systems.size() == x.size(), "batch size mismatch");
+  const exec::Dim3 block{32, 1, 1};
+  exec::launch(
+      pool, static_cast<int>(systems.size()), block,
+      [&](exec::Block& blk) {
+        exec::CounterScope scope(blk.counters());
+        const BandMatrix& a = *systems[static_cast<std::size_t>(blk.block_idx())];
+        Vec& v = *x[static_cast<std::size_t>(blk.block_idx())];
+        const std::size_t n = a.size();
+        const std::size_t lbw = a.lower_bandwidth();
+        const std::size_t ubw = a.upper_bandwidth();
+        auto regs = blk.registers<double>();
+
+        // Forward substitution: row i's dot product over its band is
+        // computed lane-parallel, combined with the shuffle butterfly.
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::size_t j0 = i > lbw ? i - lbw : 0;
+          blk.threads([&](exec::ThreadIdx t) {
+            double s = 0.0;
+            for (std::size_t j = j0 + static_cast<std::size_t>(t.x); j < i;
+                 j += static_cast<std::size_t>(blk.block_dim().x))
+              s += a.at(i, j) * v[j];
+            regs[static_cast<std::size_t>(t.flat)] = s;
+          });
+          blk.shfl_xor_sum_x(regs);
+          blk.threads([&](exec::ThreadIdx t) {
+            if (t.flat == 0) v[i] -= regs[0];
+          });
+          blk.sync();
+        }
+        // Backward substitution with U.
+        for (std::size_t i = n; i-- > 0;) {
+          const std::size_t j1 = std::min(n - 1, i + ubw);
+          blk.threads([&](exec::ThreadIdx t) {
+            double s = 0.0;
+            for (std::size_t j = i + 1 + static_cast<std::size_t>(t.x); j <= j1;
+                 j += static_cast<std::size_t>(blk.block_dim().x))
+              s += a.at(i, j) * v[j];
+            regs[static_cast<std::size_t>(t.flat)] = s;
+          });
+          blk.shfl_xor_sum_x(regs);
+          blk.threads([&](exec::ThreadIdx t) {
+            if (t.flat == 0) v[i] = (v[i] - regs[0]) / a.at(i, i);
+          });
+          blk.sync();
+        }
+        scope.flops(static_cast<std::int64_t>(n) * static_cast<std::int64_t>(lbw + ubw + 2) * 2);
+      },
+      counters);
+}
+
+void DeviceBlockBandSolver::analyze(const CsrMatrix& a) {
+  perm_ = rcm_ordering(a);
+  std::int32_t nc = 0;
+  auto comp = connected_components(a, &nc);
+  blocks_.clear();
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= perm_.size(); ++i) {
+    const bool boundary = (i == perm_.size()) ||
+                          comp[static_cast<std::size_t>(perm_[i])] !=
+                              comp[static_cast<std::size_t>(perm_[begin])];
+    if (boundary) {
+      blocks_.push_back({begin, i, BandMatrix()});
+      begin = i;
+    }
+  }
+}
+
+void DeviceBlockBandSolver::factor(const CsrMatrix& a) {
+  LANDAU_ASSERT(analyzed(), "call analyze() before factor()");
+  std::vector<BandMatrix*> batch;
+  for (auto& blk : blocks_) {
+    blk.lu = BandMatrix::from_csr(a, perm_, blk.begin, blk.end);
+    batch.push_back(&blk.lu);
+  }
+  device_band_factor(*pool_, batch);
+}
+
+void DeviceBlockBandSolver::solve(const Vec& b, Vec& x) {
+  LANDAU_ASSERT(b.size() == perm_.size() && x.size() == perm_.size(), "solve size mismatch");
+  std::vector<Vec> rhs(blocks_.size());
+  std::vector<Vec*> ptrs;
+  std::vector<BandMatrix*> mats;
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    const auto& blk = blocks_[bi];
+    rhs[bi].resize(blk.end - blk.begin);
+    for (std::size_t i = 0; i < rhs[bi].size(); ++i)
+      rhs[bi][i] = b[static_cast<std::size_t>(perm_[blk.begin + i])];
+    ptrs.push_back(&rhs[bi]);
+    mats.push_back(&blocks_[bi].lu);
+  }
+  device_band_solve(*pool_, {mats.data(), mats.size()}, {ptrs.data(), ptrs.size()});
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    const auto& blk = blocks_[bi];
+    for (std::size_t i = 0; i < rhs[bi].size(); ++i)
+      x[static_cast<std::size_t>(perm_[blk.begin + i])] = rhs[bi][i];
+  }
+}
+
+} // namespace landau::la

@@ -1,0 +1,100 @@
+#include "la/dense.h"
+
+#include <cmath>
+
+namespace landau::la {
+
+void DenseMatrix::mult(const Vec& x, Vec& y) const {
+  LANDAU_ASSERT(x.size() == cols_ && y.size() == rows_, "dense mult size mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    const double* a = row(i);
+    for (std::size_t j = 0; j < cols_; ++j) s += a[j] * x[j];
+    y[i] = s;
+  }
+}
+
+void DenseMatrix::mult_add(const Vec& x, Vec& y) const {
+  LANDAU_ASSERT(x.size() == cols_ && y.size() == rows_, "dense mult_add size mismatch");
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double s = 0.0;
+    const double* a = row(i);
+    for (std::size_t j = 0; j < cols_; ++j) s += a[j] * x[j];
+    y[i] += s;
+  }
+}
+
+void DenseMatrix::mult_transpose(const Vec& x, Vec& y) const {
+  LANDAU_ASSERT(x.size() == rows_ && y.size() == cols_, "dense mult_transpose size mismatch");
+  y.zero();
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* a = row(i);
+    for (std::size_t j = 0; j < cols_; ++j) y[j] += a[j] * x[i];
+  }
+}
+
+double DenseMatrix::norm_frobenius() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+DenseLU::DenseLU(DenseMatrix a) : lu_(std::move(a)) {
+  LANDAU_ASSERT(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  const std::size_t n = lu_.rows();
+  pivots_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double v = std::abs(lu_(i, k));
+      if (v > best) {
+        best = v;
+        p = i;
+      }
+    }
+    if (best == 0.0) LANDAU_THROW("singular matrix in dense LU at column " << k);
+    pivots_[k] = static_cast<int>(p);
+    if (p != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+      pivot_sign_ = -pivot_sign_;
+    }
+    const double inv = 1.0 / lu_(k, k);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = lu_(i, k) * inv;
+      lu_(i, k) = m;
+      const double* rk = lu_.row(k);
+      double* ri = lu_.row(i);
+      for (std::size_t j = k + 1; j < n; ++j) ri[j] -= m * rk[j];
+    }
+  }
+}
+
+void DenseLU::solve(const Vec& b, Vec& x) const {
+  const std::size_t n = size();
+  LANDAU_ASSERT(b.size() == n && x.size() == n, "dense solve size mismatch");
+  if (&x != &b) std::copy(b.begin(), b.end(), x.begin());
+  // Apply pivots and forward substitution (L has unit diagonal).
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t p = static_cast<std::size_t>(pivots_[k]);
+    if (p != k) std::swap(x[k], x[p]);
+    const double xk = x[k];
+    for (std::size_t i = k + 1; i < n; ++i) x[i] -= lu_(i, k) * xk;
+  }
+  // Back substitution with U.
+  for (std::size_t k = n; k-- > 0;) {
+    double s = x[k];
+    const double* rk = lu_.row(k);
+    for (std::size_t j = k + 1; j < n; ++j) s -= rk[j] * x[j];
+    x[k] = s / rk[k];
+  }
+}
+
+double DenseLU::determinant() const {
+  double d = pivot_sign_;
+  for (std::size_t k = 0; k < size(); ++k) d *= lu_(k, k);
+  return d;
+}
+
+} // namespace landau::la

@@ -1,0 +1,68 @@
+#pragma once
+// Small dense matrix with LU factorization (partial pivoting). Used for
+// element-local work, as the reference linear solver in tests, and as the
+// fallback direct solver for tiny systems.
+
+#include <cstddef>
+#include <vector>
+
+#include "la/vec.h"
+#include "util/error.h"
+
+namespace landau::la {
+
+/// Row-major dense matrix.
+class DenseMatrix {
+public:
+  DenseMatrix() = default;
+  DenseMatrix(std::size_t rows, std::size_t cols, double value = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t i, std::size_t j) { return data_[i * cols_ + j]; }
+  double operator()(std::size_t i, std::size_t j) const { return data_[i * cols_ + j]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(std::size_t i) { return data_.data() + i * cols_; }
+  const double* row(std::size_t i) const { return data_.data() + i * cols_; }
+
+  void zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+  /// y = A x
+  void mult(const Vec& x, Vec& y) const;
+  /// y += A x
+  void mult_add(const Vec& x, Vec& y) const;
+  /// y = A^T x
+  void mult_transpose(const Vec& x, Vec& y) const;
+
+  double norm_frobenius() const;
+
+private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square dense matrix; keeps the
+/// factors and pivot sequence for repeated solves.
+class DenseLU {
+public:
+  explicit DenseLU(DenseMatrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b (b and x may alias).
+  void solve(const Vec& b, Vec& x) const;
+
+  /// Determinant sign * magnitude (for diagnostics).
+  double determinant() const;
+
+private:
+  DenseMatrix lu_;
+  std::vector<int> pivots_;
+  int pivot_sign_ = 1;
+};
+
+} // namespace landau::la

@@ -1,0 +1,105 @@
+#include "la/gmres.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace landau::la {
+
+GmresResult gmres_solve(const CsrMatrix& a, const Vec& b, Vec& x, const GmresOptions& opts) {
+  const std::size_t n = b.size();
+  LANDAU_ASSERT(a.rows() == n && a.cols() == n && x.size() == n, "gmres size mismatch");
+  const int m = opts.restart;
+
+  // Jacobi preconditioner: M^{-1} = 1/diag(A).
+  Vec dinv(n, 1.0);
+  if (opts.jacobi_preconditioner) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double d = a.get(i, i);
+      dinv[i] = d != 0.0 ? 1.0 / d : 1.0;
+    }
+  }
+  auto precond = [&](Vec& v) {
+    if (opts.jacobi_preconditioner)
+      for (std::size_t i = 0; i < n; ++i) v[i] *= dinv[i];
+  };
+
+  GmresResult result;
+  Vec r(n), w(n);
+  std::vector<Vec> basis; // Krylov basis V
+  std::vector<double> h(static_cast<std::size_t>((m + 1) * m), 0.0);
+  std::vector<double> cs(m), sn(m), g(m + 1);
+  auto H = [&](int i, int j) -> double& { return h[static_cast<std::size_t>(i * m + j)]; };
+
+  a.mult(x, r);
+  r.axpby(1.0, b, -1.0); // r = b - Ax
+  precond(r);
+  double beta = r.norm2();
+  const double target = std::max(opts.atol, opts.rtol * (beta > 0 ? beta : 1.0));
+
+  while (result.iterations < opts.max_iterations) {
+    if (beta <= target) {
+      result.converged = true;
+      break;
+    }
+    basis.assign(1, r);
+    basis[0].scale(1.0 / beta);
+    std::fill(g.begin(), g.end(), 0.0);
+    g[0] = beta;
+    int k = 0;
+    for (; k < m && result.iterations < opts.max_iterations; ++k, ++result.iterations) {
+      a.mult(basis[static_cast<std::size_t>(k)], w);
+      precond(w);
+      // Modified Gram-Schmidt.
+      for (int i = 0; i <= k; ++i) {
+        H(i, k) = w.dot(basis[static_cast<std::size_t>(i)]);
+        w.axpy(-H(i, k), basis[static_cast<std::size_t>(i)]);
+      }
+      H(k + 1, k) = w.norm2();
+      if (H(k + 1, k) > 1e-300) {
+        basis.push_back(w);
+        basis.back().scale(1.0 / H(k + 1, k));
+      }
+      // Apply accumulated Givens rotations, then create a new one.
+      for (int i = 0; i < k; ++i) {
+        const double t = cs[i] * H(i, k) + sn[i] * H(i + 1, k);
+        H(i + 1, k) = -sn[i] * H(i, k) + cs[i] * H(i + 1, k);
+        H(i, k) = t;
+      }
+      const double denom = std::hypot(H(k, k), H(k + 1, k));
+      cs[k] = H(k, k) / denom;
+      sn[k] = H(k + 1, k) / denom;
+      H(k, k) = denom;
+      H(k + 1, k) = 0.0;
+      g[k + 1] = -sn[k] * g[k];
+      g[k] = cs[k] * g[k];
+      if (std::abs(g[k + 1]) <= target) {
+        ++k;
+        ++result.iterations;
+        break;
+      }
+      if (static_cast<std::size_t>(k + 2) > basis.size()) break; // breakdown: exact solution in span
+    }
+    // Solve the k x k triangular system and update x.
+    std::vector<double> y(static_cast<std::size_t>(k));
+    for (int i = k - 1; i >= 0; --i) {
+      double s = g[i];
+      for (int j = i + 1; j < k; ++j) s -= H(i, j) * y[static_cast<std::size_t>(j)];
+      y[static_cast<std::size_t>(i)] = s / H(i, i);
+    }
+    for (int i = 0; i < k; ++i) x.axpy(y[static_cast<std::size_t>(i)], basis[static_cast<std::size_t>(i)]);
+
+    a.mult(x, r);
+    r.axpby(1.0, b, -1.0);
+    precond(r);
+    beta = r.norm2();
+    if (beta <= target) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.residual_norm = beta;
+  return result;
+}
+
+} // namespace landau::la

@@ -1,0 +1,32 @@
+#pragma once
+// Restarted GMRES with optional Jacobi preconditioning. The paper notes that
+// iterative methods are the asymptotically-attractive alternative to the band
+// direct solver on these small elliptic systems; we keep a simple Krylov
+// baseline for comparison benches and solver cross-checks.
+
+#include <functional>
+
+#include "la/csr.h"
+#include "la/vec.h"
+
+namespace landau::la {
+
+struct GmresOptions {
+  int restart = 60;
+  int max_iterations = 1000;
+  double rtol = 1e-10;
+  double atol = 1e-50;
+  bool jacobi_preconditioner = true;
+};
+
+struct GmresResult {
+  bool converged = false;
+  int iterations = 0;
+  double residual_norm = 0.0;
+};
+
+/// Solve A x = b; x is both the initial guess and the result.
+GmresResult gmres_solve(const CsrMatrix& a, const Vec& b, Vec& x,
+                        const GmresOptions& opts = {});
+
+} // namespace landau::la

@@ -1,0 +1,45 @@
+#include "la/vec.h"
+
+#include <algorithm>
+
+namespace landau::la {
+
+void Vec::axpy(double a, const Vec& x) {
+  LANDAU_ASSERT(x.size() == size(), "axpy size mismatch " << x.size() << " vs " << size());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * x[i];
+}
+
+void Vec::aypx(double a, const Vec& x) {
+  LANDAU_ASSERT(x.size() == size(), "aypx size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] = a * data_[i] + x[i];
+}
+
+void Vec::axpby(double a, const Vec& x, double b) {
+  LANDAU_ASSERT(x.size() == size(), "axpby size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] = a * x[i] + b * data_[i];
+}
+
+void Vec::scale(double a) {
+  for (double& v : data_) v *= a;
+}
+
+double Vec::dot(const Vec& x) const {
+  LANDAU_ASSERT(x.size() == size(), "dot size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) s += data_[i] * x[i];
+  return s;
+}
+
+double Vec::norm_inf() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Vec::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+} // namespace landau::la

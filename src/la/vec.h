@@ -1,0 +1,58 @@
+#pragma once
+// Dense vector with the BLAS-1 style operations the solver stack needs.
+// Mirrors the subset of PETSc's Vec that the Landau time integrator exercises.
+
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace landau::la {
+
+/// Owning dense vector of doubles.
+class Vec {
+public:
+  Vec() = default;
+  explicit Vec(std::size_t n, double value = 0.0) : data_(n, value) {}
+  explicit Vec(std::vector<double> data) : data_(std::move(data)) {}
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void resize(std::size_t n, double value = 0.0) { data_.resize(n, value); }
+
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+  double& at(std::size_t i) { LANDAU_CHECK_RANGE(i, data_.size()); return data_[i]; }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  std::span<double> span() { return {data_.data(), data_.size()}; }
+  std::span<const double> span() const { return {data_.data(), data_.size()}; }
+
+  auto begin() { return data_.begin(); }
+  auto end() { return data_.end(); }
+  auto begin() const { return data_.begin(); }
+  auto end() const { return data_.end(); }
+
+  void set(double value) { std::fill(data_.begin(), data_.end(), value); }
+  void zero() { set(0.0); }
+
+  /// y += a*x
+  void axpy(double a, const Vec& x);
+  /// y = a*y + x
+  void aypx(double a, const Vec& x);
+  /// y = a*x + b*y
+  void axpby(double a, const Vec& x, double b);
+  void scale(double a);
+  double dot(const Vec& x) const;
+  double norm2() const { return std::sqrt(dot(*this)); }
+  double norm_inf() const;
+  double sum() const;
+
+private:
+  std::vector<double> data_;
+};
+
+} // namespace landau::la

@@ -1,0 +1,207 @@
+#include "mesh/forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace landau::mesh {
+
+Forest::Forest(Box domain, int nx_roots, int ny_roots)
+    : domain_(domain), nx_(nx_roots), ny_(ny_roots) {
+  LANDAU_ASSERT(nx_ >= 1 && ny_ >= 1, "need at least one root cell");
+  LANDAU_ASSERT(domain.dx() > 0 && domain.dy() > 0, "empty domain");
+  for (int j = 0; j < ny_; ++j)
+    for (int i = 0; i < nx_; ++i)
+      leaf_set_[key(0, static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j))] = -1;
+  rebuild_leaf_vector();
+}
+
+Box Forest::cell_box(int level, std::uint32_t gx, std::uint32_t gy) const {
+  const double nx = static_cast<double>(nx_) * std::ldexp(1.0, level);
+  const double ny = static_cast<double>(ny_) * std::ldexp(1.0, level);
+  Box b;
+  b.x0 = domain_.x0 + domain_.dx() * (gx / nx);
+  b.x1 = domain_.x0 + domain_.dx() * ((gx + 1) / nx);
+  b.y0 = domain_.y0 + domain_.dy() * (gy / ny);
+  b.y1 = domain_.y0 + domain_.dy() * ((gy + 1) / ny);
+  return b;
+}
+
+void Forest::rebuild_leaf_vector() {
+  leaves_.clear();
+  leaves_.reserve(leaf_set_.size());
+  max_level_ = 0;
+  for (const auto& [k, idx] : leaf_set_) {
+    (void)idx;
+    Leaf lf;
+    lf.level = static_cast<int>(k >> 58);
+    lf.gx = static_cast<std::uint32_t>((k >> 29) & ((1u << 29) - 1));
+    lf.gy = static_cast<std::uint32_t>(k & ((1u << 29) - 1));
+    lf.box = cell_box(lf.level, lf.gx, lf.gy);
+    max_level_ = std::max(max_level_, lf.level);
+    leaves_.push_back(lf);
+  }
+  // Deterministic ordering: lexicographic by position at the finest level,
+  // bottom-to-top then left-to-right (z-fastest ordering is irrelevant here,
+  // we just need stability).
+  std::sort(leaves_.begin(), leaves_.end(), [this](const Leaf& a, const Leaf& b) {
+    const std::uint64_t ay = static_cast<std::uint64_t>(a.gy) << (max_level_ - a.level);
+    const std::uint64_t by = static_cast<std::uint64_t>(b.gy) << (max_level_ - b.level);
+    if (ay != by) return ay < by;
+    const std::uint64_t ax = static_cast<std::uint64_t>(a.gx) << (max_level_ - a.level);
+    const std::uint64_t bx = static_cast<std::uint64_t>(b.gx) << (max_level_ - b.level);
+    if (ax != bx) return ax < bx;
+    return a.level < b.level;
+  });
+  for (std::size_t i = 0; i < leaves_.size(); ++i)
+    leaf_set_[key(leaves_[i].level, leaves_[i].gx, leaves_[i].gy)] = static_cast<int>(i);
+}
+
+void Forest::split(int level, std::uint32_t gx, std::uint32_t gy) {
+  LANDAU_ASSERT(level < 28, "refinement level too deep");
+  leaf_set_.erase(key(level, gx, gy));
+  for (std::uint32_t cy = 0; cy < 2; ++cy)
+    for (std::uint32_t cx = 0; cx < 2; ++cx)
+      leaf_set_[key(level + 1, 2 * gx + cx, 2 * gy + cy)] = -1;
+}
+
+void Forest::refine_uniform(int n) {
+  for (int pass = 0; pass < n; ++pass) {
+    std::vector<Leaf> snapshot = leaves_;
+    for (const auto& lf : snapshot) split(lf.level, lf.gx, lf.gy);
+    rebuild_leaf_vector();
+  }
+}
+
+std::size_t Forest::refine_where(const std::function<bool(const Box&, int)>& pred) {
+  std::vector<Leaf> to_split;
+  for (const auto& lf : leaves_)
+    if (pred(lf.box, lf.level)) to_split.push_back(lf);
+  for (const auto& lf : to_split) split(lf.level, lf.gx, lf.gy);
+  if (!to_split.empty()) rebuild_leaf_vector();
+  return to_split.size();
+}
+
+std::pair<int, int> Forest::find_covering(int level, std::uint32_t gx, std::uint32_t gy) const {
+  for (int l = level; l >= 0; --l) {
+    auto it = leaf_set_.find(key(l, gx >> (level - l), gy >> (level - l)));
+    if (it != leaf_set_.end()) return {l, it->second};
+  }
+  return {-1, -1};
+}
+
+void Forest::balance(bool corner_balance) {
+  // Repeatedly refine any leaf with a neighbor (across an edge, and
+  // optionally a corner) more than one level finer, until a fixed point.
+  for (;;) {
+    std::vector<Leaf> to_split;
+    for (const auto& lf : leaves_) {
+      const std::uint32_t w = static_cast<std::uint32_t>(nx_) << lf.level;
+      const std::uint32_t h = static_cast<std::uint32_t>(ny_) << lf.level;
+      bool needs = false;
+      // A neighbor region is "too fine" if it contains a leaf at level
+      // >= lf.level + 2, i.e. a grandchild of the same-level neighbor exists.
+      auto too_fine = [&](std::int64_t ngx, std::int64_t ngy) {
+        if (ngx < 0 || ngy < 0 || ngx >= static_cast<std::int64_t>(w) ||
+            ngy >= static_cast<std::int64_t>(h))
+          return false;
+        // If the same-level or coarser cell is a leaf, fine.
+        auto [lvl, idx] = find_covering(lf.level, static_cast<std::uint32_t>(ngx),
+                                        static_cast<std::uint32_t>(ngy));
+        (void)idx;
+        if (lvl >= 0) return false;
+        // Children exist; check whether any child is itself refined.
+        for (std::uint32_t cy = 0; cy < 2; ++cy)
+          for (std::uint32_t cx = 0; cx < 2; ++cx) {
+            const std::uint32_t chx = 2 * static_cast<std::uint32_t>(ngx) + cx;
+            const std::uint32_t chy = 2 * static_cast<std::uint32_t>(ngy) + cy;
+            if (!leaf_exists(lf.level + 1, chx, chy)) {
+              // This child region is either outside (impossible) or refined
+              // further; but it may also simply not touch our cell. Being
+              // conservative here only costs extra refinement, never
+              // incorrectness, and keeps the query simple.
+              return true;
+            }
+          }
+        return false;
+      };
+      const std::int64_t x = lf.gx, y = lf.gy;
+      needs = too_fine(x - 1, y) || too_fine(x + 1, y) || too_fine(x, y - 1) ||
+              too_fine(x, y + 1);
+      if (!needs && corner_balance)
+        needs = too_fine(x - 1, y - 1) || too_fine(x + 1, y - 1) || too_fine(x - 1, y + 1) ||
+                too_fine(x + 1, y + 1);
+      if (needs) to_split.push_back(lf);
+    }
+    if (to_split.empty()) break;
+    for (const auto& lf : to_split) split(lf.level, lf.gx, lf.gy);
+    rebuild_leaf_vector();
+  }
+}
+
+Forest::NeighborInfo Forest::neighbor(std::size_t i, Edge edge) const {
+  LANDAU_CHECK_RANGE(i, leaves_.size());
+  const Leaf& lf = leaves_[i];
+  const std::uint32_t w = static_cast<std::uint32_t>(nx_) << lf.level;
+  const std::uint32_t h = static_cast<std::uint32_t>(ny_) << lf.level;
+  std::int64_t ngx = lf.gx, ngy = lf.gy;
+  switch (edge) {
+    case Edge::XLow: ngx -= 1; break;
+    case Edge::XHigh: ngx += 1; break;
+    case Edge::YLow: ngy -= 1; break;
+    case Edge::YHigh: ngy += 1; break;
+  }
+  NeighborInfo info;
+  if (ngx < 0 || ngy < 0 || ngx >= static_cast<std::int64_t>(w) ||
+      ngy >= static_cast<std::int64_t>(h)) {
+    info.kind = NeighborInfo::Kind::Boundary;
+    return info;
+  }
+  auto [lvl, idx] =
+      find_covering(lf.level, static_cast<std::uint32_t>(ngx), static_cast<std::uint32_t>(ngy));
+  if (lvl == lf.level) {
+    info.kind = NeighborInfo::Kind::Same;
+    info.leaf = idx;
+    return info;
+  }
+  if (lvl >= 0) {
+    info.kind = NeighborInfo::Kind::Coarser;
+    info.leaf = idx;
+    return info;
+  }
+  // Finer: the two children of the neighbor cell adjacent to our edge.
+  info.kind = NeighborInfo::Kind::Finer;
+  const std::uint32_t cgx = 2 * static_cast<std::uint32_t>(ngx);
+  const std::uint32_t cgy = 2 * static_cast<std::uint32_t>(ngy);
+  std::uint32_t cx0, cy0, cx1, cy1;
+  switch (edge) {
+    case Edge::XLow:  cx0 = cgx + 1; cy0 = cgy;     cx1 = cgx + 1; cy1 = cgy + 1; break;
+    case Edge::XHigh: cx0 = cgx;     cy0 = cgy;     cx1 = cgx;     cy1 = cgy + 1; break;
+    case Edge::YLow:  cx0 = cgx;     cy0 = cgy + 1; cx1 = cgx + 1; cy1 = cgy + 1; break;
+    case Edge::YHigh: cx0 = cgx;     cy0 = cgy;     cx1 = cgx + 1; cy1 = cgy;     break;
+    default: LANDAU_THROW("bad edge");
+  }
+  auto it0 = leaf_set_.find(key(lf.level + 1, cx0, cy0));
+  auto it1 = leaf_set_.find(key(lf.level + 1, cx1, cy1));
+  LANDAU_ASSERT(it0 != leaf_set_.end() && it1 != leaf_set_.end(),
+                "finer neighbor deeper than one level: mesh not 2:1 balanced");
+  info.finer_leaves[0] = it0->second;
+  info.finer_leaves[1] = it1->second;
+  return info;
+}
+
+int Forest::find_point(double x, double y) const {
+  if (x < domain_.x0 || x > domain_.x1 || y < domain_.y0 || y > domain_.y1) return -1;
+  // Descend from the root containing the point.
+  const double fx = (x - domain_.x0) / domain_.dx() * nx_;
+  const double fy = (y - domain_.y0) / domain_.dy() * ny_;
+  for (int l = 0; l <= max_level_; ++l) {
+    const double scale = std::ldexp(1.0, l);
+    auto gx = static_cast<std::uint32_t>(std::min(fx * scale, nx_ * scale - 1e-12));
+    auto gy = static_cast<std::uint32_t>(std::min(fy * scale, ny_ * scale - 1e-12));
+    auto it = leaf_set_.find(key(l, gx, gy));
+    if (it != leaf_set_.end()) return it->second;
+  }
+  return -1;
+}
+
+} // namespace landau::mesh

@@ -1,0 +1,99 @@
+#pragma once
+// Adaptive quadtree forest over a rectangular velocity-space domain — the
+// stand-in for p4est (§III-B). Supports predicate-driven refinement, 2:1
+// balancing across edges (and corners), and the neighbor queries the dof map
+// needs to build hanging-node constraints on the non-conforming mesh.
+//
+// Cells are addressed by (level, gx, gy) where (gx, gy) are global integer
+// coordinates on the level-l grid of (nx*2^l) x (ny*2^l) cells covering the
+// whole forest; roots are the level-0 cells. This flat addressing makes
+// neighbor queries across root boundaries uniform.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.h"
+
+namespace landau::mesh {
+
+/// Axis-aligned box [x0,x1] x [y0,y1].
+struct Box {
+  double x0 = 0, y0 = 0, x1 = 1, y1 = 1;
+  double dx() const { return x1 - x0; }
+  double dy() const { return y1 - y0; }
+  double cx() const { return 0.5 * (x0 + x1); }
+  double cy() const { return 0.5 * (y0 + y1); }
+};
+
+/// One leaf cell of the forest.
+struct Leaf {
+  int level = 0;
+  std::uint32_t gx = 0, gy = 0;
+  Box box;
+};
+
+/// Edges in neighbor queries.
+enum class Edge : int { XLow = 0, XHigh = 1, YLow = 2, YHigh = 3 };
+
+class Forest {
+public:
+  /// A forest of nx x ny unit roots tiling `domain`.
+  Forest(Box domain, int nx_roots, int ny_roots);
+
+  const Box& domain() const { return domain_; }
+  int max_level() const { return max_level_; }
+  std::size_t n_leaves() const { return leaves_.size(); }
+  const std::vector<Leaf>& leaves() const { return leaves_; }
+  const Leaf& leaf(std::size_t i) const { return leaves_[i]; }
+
+  /// Uniformly refine every leaf n times.
+  void refine_uniform(int n);
+
+  /// One refinement sweep: split each leaf where pred(box, level) is true.
+  /// Returns the number of leaves refined. Call in a loop for nested criteria.
+  std::size_t refine_where(const std::function<bool(const Box&, int)>& pred);
+
+  /// Enforce 2:1 balance across edges (and corners when corner_balance).
+  void balance(bool corner_balance = true);
+
+  struct NeighborInfo {
+    enum class Kind { Boundary, Same, Coarser, Finer } kind = Kind::Boundary;
+    int leaf = -1;        // valid for Same and Coarser
+    int finer_leaves[2] = {-1, -1}; // valid for Finer (ordered along the edge)
+  };
+
+  /// Neighbor of leaf i across `edge`. After balance(), Finer neighbors are
+  /// exactly one level finer and Coarser exactly one level coarser.
+  NeighborInfo neighbor(std::size_t i, Edge edge) const;
+
+  /// Leaf index containing point (x, y), or -1 outside the domain.
+  int find_point(double x, double y) const;
+
+  /// Geometry of an addressed cell.
+  Box cell_box(int level, std::uint32_t gx, std::uint32_t gy) const;
+
+private:
+  static std::uint64_t key(int level, std::uint32_t gx, std::uint32_t gy) {
+    return (static_cast<std::uint64_t>(level) << 58) |
+           (static_cast<std::uint64_t>(gx) << 29) | gy;
+  }
+
+  void rebuild_leaf_vector();
+  bool leaf_exists(int level, std::uint32_t gx, std::uint32_t gy) const {
+    return leaf_set_.count(key(level, gx, gy)) > 0;
+  }
+  void split(int level, std::uint32_t gx, std::uint32_t gy);
+  /// Find the leaf covering cell (level,gx,gy) at this level or coarser;
+  /// returns (found_level, index) or found_level = -1.
+  std::pair<int, int> find_covering(int level, std::uint32_t gx, std::uint32_t gy) const;
+
+  Box domain_;
+  int nx_, ny_;
+  int max_level_ = 0;
+  std::unordered_map<std::uint64_t, int> leaf_set_; // key -> index (index valid after rebuild)
+  std::vector<Leaf> leaves_;
+};
+
+} // namespace landau::mesh

@@ -1,0 +1,54 @@
+#include "mesh/refine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace landau::mesh {
+namespace {
+
+/// Distance from the velocity-space origin (r,z) = (0,0) to the closest
+/// point of a cell box.
+double distance_to_origin(const Box& b) {
+  const double dx = std::max({b.x0, 0.0, -b.x1});
+  const double dy = std::max({b.y0, 0.0, -b.y1});
+  return std::hypot(dx, dy);
+}
+
+} // namespace
+
+Forest build_velocity_mesh(const VelocityMeshSpec& spec) {
+  LANDAU_ASSERT(spec.radius > 0, "domain radius must be positive");
+  Forest forest(Box{0.0, -spec.radius, spec.radius, spec.radius}, 1, 2);
+  forest.refine_uniform(spec.base_levels);
+
+  // Refine any cell whose size exceeds the resolution target of a species
+  // whose refined zone it intersects. One species' zone is the disk of
+  // zone_extent thermal radii about the origin (a Maxwellian's support).
+  auto target_h = [&](const Box& b) {
+    const double d = distance_to_origin(b);
+    double h = spec.radius; // no requirement by default
+    for (double vth : spec.thermal_speeds) {
+      LANDAU_ASSERT(vth > 0, "thermal speed must be positive");
+      if (d <= spec.zone_extent * vth) h = std::min(h, vth / spec.cells_per_thermal);
+    }
+    for (const auto& tz : spec.tail_zones) {
+      const bool overlaps =
+          b.x0 <= tz.r_width && b.y1 >= tz.z_min && b.y0 <= tz.z_max;
+      if (overlaps) h = std::min(h, tz.target_h);
+    }
+    return h;
+  };
+  for (;;) {
+    const std::size_t refined = forest.refine_where([&](const Box& b, int level) {
+      if (level >= spec.max_levels) return false;
+      return std::max(b.dx(), b.dy()) > target_h(b) * (1.0 + 1e-12);
+    });
+    if (refined == 0) break;
+  }
+  forest.balance(spec.corner_balance);
+  return forest;
+}
+
+} // namespace landau::mesh

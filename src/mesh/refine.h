@@ -1,0 +1,45 @@
+#pragma once
+// High-level parameterization of velocity-space mesh adaptivity (§III-B):
+// the solver builds grids for Maxwellian-like distributions by refining
+// toward the origin until each species' thermal scale is resolved, then 2:1
+// balancing. This is the command-line-driven AMR front end the paper
+// describes for Maxwellian and runaway-electron distributions.
+
+#include <vector>
+
+#include "mesh/forest.h"
+
+namespace landau::mesh {
+
+struct VelocityMeshSpec {
+  /// Domain [0, radius] x [-radius, radius] in reference-velocity units.
+  double radius = 5.0;
+  /// Uniform refinements of the 1 x 2 root forest (level 1 gives 2.5-unit
+  /// cells for radius 5, the paper's Fig. 3 starting point).
+  int base_levels = 1;
+  /// Thermal speed of each species (or species cluster) to resolve.
+  std::vector<double> thermal_speeds;
+  /// Resolution target: cell size <= thermal_speed / cells_per_thermal
+  /// within a few thermal radii of the origin.
+  double cells_per_thermal = 1.0;
+  /// Extent of the refined region around each thermal shell, in thermal radii.
+  double zone_extent = 3.0;
+  /// Safety cap on refinement depth.
+  int max_levels = 16;
+  bool corner_balance = true;
+
+  /// Extra refined regions for runaway-electron tails (§III-B: the solver
+  /// parameterizes grids "for common runaway electron distributions"): a
+  /// strip along the +z axis where an accelerated beam lives.
+  struct TailZone {
+    double z_min = 0.0, z_max = 0.0; // parallel-velocity extent
+    double r_width = 1.0;            // perpendicular extent from the axis
+    double target_h = 0.25;          // required resolution inside the zone
+  };
+  std::vector<TailZone> tail_zones;
+};
+
+/// Build the adapted velocity-space mesh.
+Forest build_velocity_mesh(const VelocityMeshSpec& spec);
+
+} // namespace landau::mesh

@@ -1,0 +1,106 @@
+#include "quench/model.h"
+
+#include <cmath>
+
+#include "quench/spitzer.h"
+#include "util/logging.h"
+#include "util/profiler.h"
+
+namespace landau::quench {
+
+QuenchModel::QuenchModel(LandauOperator& op, QuenchOptions opts)
+    : op_(op), opts_(opts), integrator_(op, opts.newton, opts.linear),
+      f_(op.maxwellian_state()) {}
+
+QuenchResult QuenchModel::run() {
+  ScopedEvent ev("quench:run");
+  QuenchResult result;
+  const double z_eff = op_.species().z_eff();
+  const double e_c = critical_field(opts_.te_ev, 1.0);
+  double e_z = opts_.e_initial_over_ec * e_c;
+
+  ColdPulseSource source(op_, opts_.source);
+  la::Vec src(op_.n_total());
+
+  bool quench_phase = false;
+  double prev_j = 0.0;
+  int steady_count = 0;
+  double t = 0.0;
+
+  auto record = [&](int newton_its) {
+    QuenchSample s;
+    s.t = t;
+    s.n_e = op_.electron_density(f_);
+    s.j_z = op_.current_z(f_);
+    s.e_z = e_z;
+    s.t_e = op_.electron_temperature(f_);
+    // Seed-runaway diagnostic: electron density beyond the tail threshold.
+    const double vc2 = opts_.tail_speed * opts_.tail_speed;
+    const double tail = op_.space().moment(
+        op_.block(f_, 0), [&](double r, double z) { return r * r + z * z > vc2 ? 1.0 : 0.0; });
+    s.runaway_fraction = s.n_e > 0 ? tail / s.n_e : 0.0;
+    s.newton_iterations = newton_its;
+    s.quench_phase = quench_phase;
+    result.history.push_back(s);
+  };
+  record(0);
+
+  double quench_t0 = 0.0;
+  for (int step = 0; step < opts_.max_steps; ++step) {
+    const la::Vec* src_ptr = nullptr;
+    if (quench_phase) {
+      // E follows Spitzer resistivity at the current temperature (E <- eta J),
+      // the feedback loop of §IV-C.
+      const double t_e = std::max(op_.electron_temperature(f_), 1e-3);
+      e_z = spitzer_eta(z_eff, t_e) * op_.current_z(f_);
+      if (source.evaluate(t - quench_t0, &src)) {
+        src_ptr = &src;
+        result.mass_injected += opts_.dt * source.rate(t - quench_t0);
+      }
+    }
+
+    const auto stats = integrator_.step(f_, opts_.dt, e_z, src_ptr);
+    t += opts_.dt;
+    record(stats.newton_iterations);
+
+    const double j = result.history.back().j_z;
+    if (!quench_phase) {
+      // Quasi-equilibrium current detection.
+      const double dj = std::abs(j - prev_j) / std::max(std::abs(j), 1e-12);
+      steady_count = (dj < opts_.equilibrium_tol) ? steady_count + 1 : 0;
+      prev_j = j;
+      if (steady_count >= opts_.min_equilibrium_steps) {
+        quench_phase = true;
+        quench_t0 = t;
+        result.switchover_step = step + 1;
+        LANDAU_INFO("quench: switchover at t = " << t << ", J = " << j);
+      }
+    }
+  }
+  return result;
+}
+
+ResistivityResult measure_resistivity(LandauOperator& op, double e_z, double dt, int max_steps,
+                                      double tol, LinearSolverKind linear, NewtonOptions newton) {
+  ScopedEvent ev("quench:resistivity");
+  ImplicitIntegrator integrator(op, newton, linear);
+  la::Vec f = op.maxwellian_state();
+  ResistivityResult result;
+  double prev_j = 0.0;
+  for (int step = 0; step < max_steps; ++step) {
+    integrator.step(f, dt, e_z);
+    ++result.steps;
+    const double j = op.current_z(f);
+    const double dj = std::abs(j - prev_j) / std::max(std::abs(j), 1e-300);
+    prev_j = j;
+    if (step > 1 && dj < tol) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.j_z = prev_j;
+  result.eta = prev_j != 0.0 ? e_z / prev_j : 0.0;
+  return result;
+}
+
+} // namespace landau::quench

@@ -1,0 +1,83 @@
+#pragma once
+// The Vlasov-Maxwell-Landau thermal quench model (§IV-C), end to end:
+//
+//  1. Spitzer phase: evolve under a fixed small E_z until the current
+//     reaches quasi-equilibrium (the resistivity verification setup, §IV-B).
+//  2. Quench phase: switch to E <- eta_Spitzer(T_e, Z) * J, inject a pulse
+//     of cold plasma; the temperature collapses, eta rises, E rises, fast
+//     electrons accelerate — the seed-runaway dynamics of Fig. 5.
+//
+// The driver records the normalized profiles n_e, J, E, T_e each step
+// (Fig. 5's four panels).
+
+#include <vector>
+
+#include "core/operator.h"
+#include "quench/source.h"
+#include "solver/implicit.h"
+
+namespace landau::quench {
+
+struct QuenchOptions {
+  double dt = 0.25;               // step, electron collision times
+  int max_steps = 200;
+  double e_initial_over_ec = 0.5; // E0 = 0.5 E_c (the paper's experiment)
+  double te_ev = 1000.0;          // physical reference temperature for E_c
+  double equilibrium_tol = 2e-3;  // relative dJ/J per step for switchover
+  int min_equilibrium_steps = 3;
+  SourceSpec source;              // injected after switchover
+  double tail_speed = 2.5;        // |v| (v0 units) above which electrons count
+                                  // toward the seed-runaway diagnostic
+  NewtonOptions newton;
+  LinearSolverKind linear = LinearSolverKind::BandLU;
+};
+
+/// One recorded time point (all normalized; Fig. 5 quantities).
+struct QuenchSample {
+  double t = 0;
+  double n_e = 0;
+  double j_z = 0;
+  double e_z = 0;
+  double t_e = 0;
+  double runaway_fraction = 0; // electron fraction above the tail threshold
+  int newton_iterations = 0;
+  bool quench_phase = false;
+};
+
+struct QuenchResult {
+  std::vector<QuenchSample> history;
+  double mass_injected = 0.0; // electron density added by the source
+  int switchover_step = -1;   // first quench-phase step
+};
+
+class QuenchModel {
+public:
+  QuenchModel(LandauOperator& op, QuenchOptions opts);
+
+  /// Run the full scenario; f is the evolving state (starts Maxwellian).
+  QuenchResult run();
+
+  /// Access the state after run().
+  const la::Vec& state() const { return f_; }
+
+private:
+  LandauOperator& op_;
+  QuenchOptions opts_;
+  ImplicitIntegrator integrator_;
+  la::Vec f_;
+};
+
+/// The §IV-B resistivity measurement: evolve under fixed e_z until J is
+/// quasi-steady and return eta = E/J (used for Fig. 4).
+struct ResistivityResult {
+  double eta = 0;
+  double j_z = 0;
+  int steps = 0;
+  bool converged = false;
+};
+ResistivityResult measure_resistivity(LandauOperator& op, double e_z, double dt, int max_steps,
+                                      double tol = 1e-3,
+                                      LinearSolverKind linear = LinearSolverKind::BandLU,
+                                      NewtonOptions newton = {});
+
+} // namespace landau::quench

@@ -1,0 +1,66 @@
+#include "quench/source.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/special_math.h"
+
+namespace landau::quench {
+
+ColdPulseSource::ColdPulseSource(const LandauOperator& op, SourceSpec spec)
+    : op_(op), spec_(spec) {
+  // Quasi-neutral injection: every species receives a cold Maxwellian scaled
+  // so the charge injected sums to zero and electrons receive unit density
+  // per unit rate. Ion densities follow their equilibrium fractions.
+  const auto& sp = op.species();
+  double ion_charge = 0.0;
+  for (int s = 1; s < sp.size(); ++s) ion_charge += sp[s].density * sp[s].charge;
+
+  // The injected Maxwellian must be resolvable on the grid: clamp its width
+  // to a couple of cells of the finest refinement (an unresolvable source
+  // would alias and lose mass).
+  double hmin = 1e30;
+  for (const auto& lf : op.forest().leaves()) hmin = std::min(hmin, lf.box.dx());
+  const double theta_floor = sqr(1.5 * hmin);
+
+  shape_ = op.project([&](int s, double r, double z) {
+    const double theta =
+        std::max((kPi / 4.0) * spec_.cold_temperature / sp[s].mass, theta_floor);
+    double n;
+    if (s == 0) {
+      n = 1.0; // unit electron density per unit rate
+    } else {
+      // Share the neutralizing ion density in proportion to equilibrium.
+      n = ion_charge != 0.0 ? sp[s].density * sp[s].charge / ion_charge / sp[s].charge : 0.0;
+    }
+    return maxwellian_rz(r, z, n, theta);
+  });
+
+  // Renormalize each species block by its *discrete* density so injection is
+  // exactly quasi-neutral and the mass accounting is exact on any mesh.
+  for (int s = 0; s < sp.size(); ++s) {
+    double target = s == 0 ? 1.0
+                           : (ion_charge != 0.0 ? sp[s].density / ion_charge : 0.0);
+    la::Vec blockvec(std::vector<double>(op.block(shape_, s).begin(), op.block(shape_, s).end()));
+    const double discrete = op.space().moment(blockvec.span(), [](double, double) { return 1.0; });
+    const double scale = (discrete != 0.0 && target != 0.0) ? target / discrete : 0.0;
+    for (auto& v : op.block(shape_, s)) v *= scale;
+  }
+}
+
+double ColdPulseSource::rate(double t) const {
+  if (t < spec_.t_start || t > spec_.t_start + spec_.duration) return 0.0;
+  const double x = (t - spec_.t_start) / spec_.duration;
+  // sin^2 envelope: integral over the pulse = duration / 2.
+  const double shape = std::sin(kPi * x);
+  return spec_.total_injected * 2.0 / spec_.duration * shape * shape;
+}
+
+bool ColdPulseSource::evaluate(double t, la::Vec* out) const {
+  const double a = rate(t);
+  *out = shape_;
+  out->scale(a);
+  return a != 0.0;
+}
+
+} // namespace landau::quench

@@ -1,0 +1,39 @@
+#pragma once
+// The cold-plasma injection source of the thermal quench model (§IV-C):
+// a quasi-neutral pulse of cold electrons and ions with a sinusoidal time
+// envelope, normalized so the total injected electron density is a chosen
+// multiple of the initial density (the paper injects 5x).
+
+#include "core/operator.h"
+#include "la/vec.h"
+
+namespace landau::quench {
+
+struct SourceSpec {
+  double total_injected = 5.0;   // electron density injected / n0
+  double t_start = 0.0;          // pulse start (t0 units)
+  double duration = 1.0;         // pulse length
+  double cold_temperature = 0.01; // injected plasma T / T_e0
+};
+
+/// Time-dependent cold source: shape(t) * per-species cold Maxwellians.
+class ColdPulseSource {
+public:
+  ColdPulseSource(const LandauOperator& op, SourceSpec spec);
+
+  /// sin^2 envelope integrating to `total_injected` over the pulse.
+  double rate(double t) const;
+
+  /// Full-state df/dt source vector at time t (zero outside the pulse).
+  /// Returns true if the source is active (nonzero).
+  bool evaluate(double t, la::Vec* out) const;
+
+  const SourceSpec& spec() const { return spec_; }
+
+private:
+  const LandauOperator& op_;
+  SourceSpec spec_;
+  la::Vec shape_; // per-unit-rate nodal source (cold Maxwellians, all species)
+};
+
+} // namespace landau::quench

@@ -1,0 +1,31 @@
+#include "quench/spitzer.h"
+
+#include <cmath>
+
+#include "util/special_math.h"
+
+namespace landau::quench {
+
+double spitzer_f(double z) {
+  return (1.0 + 1.198 * z + 0.222 * z * z) / (1.0 + 2.966 * z + 0.753 * z * z);
+}
+
+double spitzer_eta(double z, double t_rel) {
+  const double c0 = (4.0 / 3.0) * std::sqrt(2.0 * kPi) / (2.0 * kPi) * std::pow(8.0 / kPi, 1.5);
+  return c0 * z * spitzer_f(z) * std::pow(t_rel, -1.5);
+}
+
+namespace {
+constexpr double kMec2Ev = 510998.95;
+}
+
+double critical_field(double te_ev, double n_rel) {
+  const double v02_over_c2 = (8.0 / kPi) * te_ev / kMec2Ev;
+  return 2.0 * n_rel * v02_over_c2;
+}
+
+double dreicer_field(double te_ev, double n_rel, double t_rel) {
+  return critical_field(te_ev, n_rel) * kMec2Ev / (te_ev * t_rel);
+}
+
+} // namespace landau::quench

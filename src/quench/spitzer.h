@@ -1,0 +1,33 @@
+#pragma once
+// Spitzer resistivity (eq. 12) in the solver's normalized units, plus the
+// Connor-Hastie critical field used to scale the quench model's E (§IV).
+//
+// Physical form (parallel resistivity):
+//   eta = (4 sqrt(2 pi) / 3) Z e^2 sqrt(m_e) ln(Lambda)
+//         / ((4 pi eps0)^2 (k T_e)^{3/2}) * F(Z),
+//   F(Z) = (1 + 1.198 Z + 0.222 Z^2) / (1 + 2.966 Z + 0.753 Z^2).
+//
+// Normalized with E in t0 e E/(m_e v0) units and J in n0 e v0 units (so that
+// eta_norm = E_norm / J_norm), substituting t0 and v0 = sqrt(8 kT_e/pi m_e):
+//   eta_norm(T=T_e0, Z) = (4/3) sqrt(2 pi) / (2 pi) * (8/pi)^{3/2} * Z F(Z)
+// and eta_norm scales as (T/T_e0)^{-3/2}.
+
+namespace landau::quench {
+
+/// The Z-dependence factor F(Z) of eq. (12).
+double spitzer_f(double z);
+
+/// Normalized Spitzer resistivity at electron temperature t_rel = T/T_e0.
+double spitzer_eta(double z, double t_rel = 1.0);
+
+/// Connor-Hastie critical field in normalized units:
+/// E_c = n e^3 ln(Lambda) / (4 pi eps0^2 m_e c^2)  =>  2 n_rel v0^2/c^2,
+/// which needs the physical reference temperature (v0^2/c^2 = (8/pi) kT_e/m_e c^2).
+double critical_field(double te_ev, double n_rel = 1.0);
+
+/// Dreicer field (Dreicer 1959): the field at which even thermal electrons
+/// run away, E_D = n e^3 ln(Lambda) / (4 pi eps0^2 k T) = E_c * (m_e c^2 / kT).
+/// t_rel is the local T_e relative to the reference te_ev.
+double dreicer_field(double te_ev, double n_rel = 1.0, double t_rel = 1.0);
+
+} // namespace landau::quench

@@ -1,0 +1,53 @@
+#pragma once
+// Error handling for the landau library: a single exception type carrying
+// file/line context, plus assertion macros used throughout the code base.
+//
+// Recoverable, user-facing failures (bad options, singular matrices, solver
+// divergence) throw landau::Error. Internal invariant violations use
+// LANDAU_ASSERT, which is compiled in all build types: this is a numerical
+// library where silent corruption is far worse than an abort.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace landau {
+
+/// Exception type thrown by all landau components.
+class Error : public std::runtime_error {
+public:
+  Error(std::string msg, const char* file, int line)
+      : std::runtime_error(format(msg, file, line)) {}
+
+private:
+  static std::string format(const std::string& msg, const char* file, int line) {
+    std::ostringstream os;
+    os << msg << " [" << file << ":" << line << "]";
+    return os.str();
+  }
+};
+
+} // namespace landau
+
+/// Throw landau::Error with streamed message: LANDAU_THROW("bad n=" << n);
+#define LANDAU_THROW(msg_stream)                                               \
+  do {                                                                         \
+    std::ostringstream landau_os_;                                             \
+    landau_os_ << msg_stream;                                                  \
+    throw ::landau::Error(landau_os_.str(), __FILE__, __LINE__);               \
+  } while (0)
+
+/// Check a precondition/invariant; always active.
+#define LANDAU_ASSERT(cond, msg_stream)                                        \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      LANDAU_THROW("assertion failed: " #cond ": " << msg_stream);             \
+    }                                                                          \
+  } while (0)
+
+/// Check that an index is in [0, size).
+#define LANDAU_CHECK_RANGE(i, size)                                            \
+  LANDAU_ASSERT(static_cast<long long>(i) >= 0 &&                              \
+                    static_cast<unsigned long long>(i) <                       \
+                        static_cast<unsigned long long>(size),                 \
+                "index " << (i) << " out of range [0," << (size) << ")")

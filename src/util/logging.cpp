@@ -1,0 +1,16 @@
+#include "util/logging.h"
+
+namespace landau {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel lvl, const std::string& msg) {
+  static const char* names[] = {"ERROR", "WARN", "INFO", "DEBUG"};
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::cerr << "[landau:" << names[static_cast<int>(lvl)] << "] " << msg << "\n";
+}
+
+} // namespace landau

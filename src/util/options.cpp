@@ -1,0 +1,54 @@
+#include "util/options.h"
+
+namespace landau {
+
+void Options::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.size() < 2 || arg[0] != '-')
+      LANDAU_THROW("unexpected positional argument '" << arg << "'");
+    std::string name = arg.substr(1);
+    if (name == "help" || name == "-help") {
+      help_ = true;
+      continue;
+    }
+    // A value follows unless the next token is another option or we are at
+    // the end; bare flags are stored with an empty value (bool getter -> true).
+    if (i + 1 < argc) {
+      std::string next = argv[i + 1];
+      const bool next_is_option =
+          next.size() > 1 && next[0] == '-' && !(std::isdigit(next[1]) || next[1] == '.');
+      if (!next_is_option) {
+        values_[name] = next;
+        ++i;
+        continue;
+      }
+    }
+    values_[name] = "";
+  }
+}
+
+void Options::set(const std::string& name, const std::string& value) { values_[name] = value; }
+
+void Options::document(const std::string& name, const std::string& def, const std::string& help) {
+  auto it = docs_.find(name);
+  if (it == docs_.end()) docs_[name] = {def, help};
+}
+
+std::string Options::help_text() const {
+  std::ostringstream os;
+  os << "Options:\n";
+  for (const auto& [name, doc] : docs_) {
+    os << "  -" << name << " (default: " << doc.first << ")";
+    if (!doc.second.empty()) os << "  " << doc.second;
+    os << "\n";
+  }
+  return os.str();
+}
+
+Options& Options::global() {
+  static Options opts;
+  return opts;
+}
+
+} // namespace landau

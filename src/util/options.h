@@ -1,0 +1,112 @@
+#pragma once
+// PETSc-style options database. Options are "-name value" pairs parsed from the
+// command line (or set programmatically); components query them with typed
+// getters that supply defaults and register a help string, so every example
+// and benchmark supports -help.
+//
+//   Options opts;
+//   opts.parse(argc, argv);
+//   int nsteps = opts.get<int>("ts_max_steps", 100, "number of time steps");
+
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace landau {
+
+/// A typed key/value options database with self-documenting getters.
+class Options {
+public:
+  Options() = default;
+
+  /// Parse "-key value" and bare "-flag" arguments. Unrecognized positional
+  /// arguments throw; "-help" sets the help flag queryable via help_requested().
+  void parse(int argc, const char* const* argv);
+
+  /// Set an option programmatically (stored as string, like a CLI value).
+  void set(const std::string& name, const std::string& value);
+  template <class T> void set(const std::string& name, const T& value) {
+    std::ostringstream os;
+    os << value;
+    set(name, os.str());
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+  bool help_requested() const { return help_; }
+
+  /// Typed getter with default; records (name, default, help) for -help output.
+  template <class T>
+  T get(const std::string& name, const T& default_value, const std::string& help = "") {
+    document(name, to_string(default_value), help);
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    return from_string<T>(name, it->second);
+  }
+
+  /// Getter for options that must be present.
+  template <class T> T require(const std::string& name, const std::string& help = "") {
+    document(name, "<required>", help);
+    auto it = values_.find(name);
+    if (it == values_.end()) LANDAU_THROW("missing required option -" << name);
+    return from_string<T>(name, it->second);
+  }
+
+  /// Comma-separated list getter, e.g. -masses 1,2,183.
+  template <class T>
+  std::vector<T> get_list(const std::string& name, const std::vector<T>& default_value,
+                          const std::string& help = "") {
+    document(name, "<list>", help);
+    auto it = values_.find(name);
+    if (it == values_.end()) return default_value;
+    std::vector<T> out;
+    std::istringstream is(it->second);
+    std::string tok;
+    while (std::getline(is, tok, ',')) out.push_back(from_string<T>(name, tok));
+    return out;
+  }
+
+  /// Render registered options as a help string.
+  std::string help_text() const;
+
+  /// Global database used by examples/benches (components may also take a
+  /// local Options for isolation in tests).
+  static Options& global();
+
+private:
+  void document(const std::string& name, const std::string& def, const std::string& help);
+
+  template <class T> static std::string to_string(const T& v) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  }
+
+  template <class T> static T from_string(const std::string& name, const std::string& s) {
+    std::istringstream is(s);
+    T v;
+    is >> v;
+    if (is.fail()) LANDAU_THROW("option -" << name << ": cannot parse value '" << s << "'");
+    return v;
+  }
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, std::pair<std::string, std::string>> docs_; // name -> (default, help)
+  bool help_ = false;
+};
+
+template <> inline bool Options::from_string<bool>(const std::string& name, const std::string& s) {
+  if (s == "1" || s == "true" || s == "yes" || s == "") return true;
+  if (s == "0" || s == "false" || s == "no") return false;
+  LANDAU_THROW("option -" << name << ": cannot parse bool '" << s << "'");
+}
+
+template <>
+inline std::string Options::from_string<std::string>(const std::string&, const std::string& s) {
+  return s;
+}
+
+} // namespace landau

@@ -1,0 +1,107 @@
+#include "util/profiler.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace landau {
+namespace {
+
+thread_local std::vector<std::pair<int, std::chrono::steady_clock::time_point>> tls_stack;
+
+} // namespace
+
+Profiler& Profiler::instance() {
+  static Profiler p;
+  return p;
+}
+
+int Profiler::event_id(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  int id = static_cast<int>(slots_.size());
+  auto slot = std::make_unique<Slot>();
+  slot->name = name;
+  slots_.push_back(std::move(slot));
+  ids_[name] = id;
+  return id;
+}
+
+void Profiler::begin(int id) {
+  tls_stack.emplace_back(id, std::chrono::steady_clock::now());
+}
+
+void Profiler::end(int id) {
+  auto now = std::chrono::steady_clock::now();
+  // Unwind to the matching begin; mismatches indicate a bug but we stay robust.
+  while (!tls_stack.empty()) {
+    auto [top_id, start] = tls_stack.back();
+    tls_stack.pop_back();
+    if (top_id == id) {
+      auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(now - start).count();
+      slots_[id]->nanos.fetch_add(ns, std::memory_order_relaxed);
+      slots_[id]->count.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void Profiler::add(int id, double seconds, std::int64_t count) {
+  slots_[id]->nanos.fetch_add(static_cast<std::int64_t>(seconds * 1e9),
+                              std::memory_order_relaxed);
+  slots_[id]->count.fetch_add(count, std::memory_order_relaxed);
+}
+
+std::vector<EventStats> Profiler::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<EventStats> out;
+  out.reserve(slots_.size());
+  for (const auto& s : slots_) {
+    EventStats es;
+    es.name = s->name;
+    es.count = s->count.load(std::memory_order_relaxed);
+    es.seconds = 1e-9 * static_cast<double>(s->nanos.load(std::memory_order_relaxed));
+    out.push_back(es);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const EventStats& a, const EventStats& b) { return a.seconds > b.seconds; });
+  return out;
+}
+
+double Profiler::seconds(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return 0.0;
+  return 1e-9 * static_cast<double>(slots_[it->second]->nanos.load(std::memory_order_relaxed));
+}
+
+std::int64_t Profiler::count(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return 0;
+  return slots_[it->second]->count.load(std::memory_order_relaxed);
+}
+
+void Profiler::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& s : slots_) {
+    s->count.store(0, std::memory_order_relaxed);
+    s->nanos.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::string Profiler::report() const {
+  auto stats = snapshot();
+  std::ostringstream os;
+  os << std::left << std::setw(32) << "event" << std::right << std::setw(12) << "count"
+     << std::setw(14) << "seconds" << "\n";
+  for (const auto& s : stats) {
+    if (s.count == 0) continue;
+    os << std::left << std::setw(32) << s.name << std::right << std::setw(12) << s.count
+       << std::setw(14) << std::fixed << std::setprecision(6) << s.seconds << "\n";
+  }
+  return os.str();
+}
+
+} // namespace landau

@@ -1,0 +1,98 @@
+#pragma once
+// Hierarchical event profiler modeled on PetscLogEvent: named events accumulate
+// wall-clock time and call counts; RAII ScopedEvent handles begin/end. The
+// component-time benches (Table VII) read their numbers from here.
+//
+// Thread-safety: events may begin/end on any thread; accumulation is atomic.
+// Nested events on the same thread form a parent/child hierarchy in reports.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace landau {
+
+/// Accumulated statistics for one named event.
+struct EventStats {
+  std::string name;
+  std::int64_t count = 0;
+  double seconds = 0.0;
+};
+
+/// Global registry of profiling events.
+class Profiler {
+public:
+  static Profiler& instance();
+
+  /// Get-or-create the id of a named event. Ids are stable for process life.
+  int event_id(const std::string& name);
+
+  void begin(int id);
+  void end(int id);
+
+  /// Add externally-measured time (used by the schedule simulator).
+  void add(int id, double seconds, std::int64_t count = 1);
+
+  /// Snapshot of all events (sorted by accumulated time, descending).
+  std::vector<EventStats> snapshot() const;
+
+  /// Accumulated seconds for one event by name (0 if never seen).
+  double seconds(const std::string& name) const;
+  std::int64_t count(const std::string& name) const;
+
+  /// Zero all accumulators (ids remain valid). Used between bench phases.
+  void reset();
+
+  /// Render a report table.
+  std::string report() const;
+
+private:
+  Profiler() = default;
+
+  struct Slot {
+    std::string name;
+    std::atomic<std::int64_t> count{0};
+    std::atomic<std::int64_t> nanos{0};
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, int> ids_;
+  std::vector<std::unique_ptr<Slot>> slots_;
+};
+
+/// RAII begin/end of one event.
+class ScopedEvent {
+public:
+  explicit ScopedEvent(const std::string& name)
+      : id_(Profiler::instance().event_id(name)) {
+    Profiler::instance().begin(id_);
+  }
+  explicit ScopedEvent(int id) : id_(id) { Profiler::instance().begin(id_); }
+  ~ScopedEvent() { Profiler::instance().end(id_); }
+  ScopedEvent(const ScopedEvent&) = delete;
+  ScopedEvent& operator=(const ScopedEvent&) = delete;
+
+private:
+  int id_;
+};
+
+/// Simple stopwatch for ad-hoc timing.
+class Stopwatch {
+public:
+  Stopwatch() : start_(clock::now()) {}
+  void restart() { start_ = clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+} // namespace landau

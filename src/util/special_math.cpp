@@ -1,0 +1,37 @@
+#include "util/special_math.h"
+
+namespace landau {
+
+void elliptic_ke(double m, double* K, double* E) noexcept {
+  // AGM iteration (Abramowitz & Stegun 17.6): with a0=1, b0=sqrt(1-m), c0=sqrt(m),
+  //   a_{n+1} = (a_n+b_n)/2, b_{n+1} = sqrt(a_n b_n), c_{n+1} = (a_n-b_n)/2,
+  // K = pi/(2 a_inf), E = K (1 - sum 2^{n-1} c_n^2).
+  if (m <= 0.0) {
+    *K = kPi / 2.0;
+    *E = kPi / 2.0;
+    return;
+  }
+  double a = 1.0;
+  double b = std::sqrt(1.0 - m);
+  double c = std::sqrt(m);
+  double sum = 0.5 * c * c; // 2^{-1} c_0^2
+  double pow2 = 0.5;
+  for (int n = 0; n < 64 && c > 1e-17 * a; ++n) {
+    const double an = 0.5 * (a + b);
+    const double bn = std::sqrt(a * b);
+    c = 0.5 * (a - b);
+    a = an;
+    b = bn;
+    pow2 *= 2.0;
+    sum += pow2 * c * c;
+  }
+  *K = kPi / (2.0 * a);
+  *E = *K * (1.0 - sum);
+}
+
+double maxwellian_rz(double r, double z, double n, double theta, double vz0) noexcept {
+  const double arg = (r * r + sqr(z - vz0)) / theta;
+  return n / std::pow(kPi * theta, 1.5) * std::exp(-arg);
+}
+
+} // namespace landau

@@ -1,0 +1,52 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+
+namespace landau {
+
+void TableWriter::row(std::vector<std::string> cells) {
+  if (!header_.empty())
+    LANDAU_ASSERT(cells.size() == header_.size(),
+                  "row width " << cells.size() << " != header width " << header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TableWriter::str() const {
+  std::vector<std::size_t> widths;
+  auto account = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  if (!header_.empty()) account(header_);
+  for (const auto& r : rows_) account(r);
+
+  std::ostringstream os;
+  if (!caption_.empty()) os << caption_ << "\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      os << (i ? "  " : "") << std::setw(static_cast<int>(widths[i])) << cells[i];
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void TableWriter::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) LANDAU_THROW("cannot open CSV output file '" << path << "'");
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) f << (i ? "," : "") << cells[i];
+    f << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+}
+
+} // namespace landau

@@ -1,0 +1,67 @@
+#pragma once
+// ASCII table and CSV output used by the benchmark harness to print the
+// paper's tables and figure series in a uniform format.
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace landau {
+
+/// Builds a column-aligned ASCII table row-by-row, with an optional caption.
+class TableWriter {
+public:
+  explicit TableWriter(std::string caption = "") : caption_(std::move(caption)) {}
+
+  void header(std::vector<std::string> cols) { header_ = std::move(cols); }
+
+  /// Append a row of preformatted cells. Must match the header width if set.
+  void row(std::vector<std::string> cells);
+
+  /// Convenience for mixed numeric rows.
+  class RowBuilder {
+  public:
+    explicit RowBuilder(TableWriter& t) : table_(t) {}
+    RowBuilder& cell(const std::string& s) {
+      cells_.push_back(s);
+      return *this;
+    }
+    RowBuilder& cell(double v, int precision = 3) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(precision) << v;
+      cells_.push_back(os.str());
+      return *this;
+    }
+    RowBuilder& cell(long long v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+    RowBuilder& cell(int v) {
+      cells_.push_back(std::to_string(v));
+      return *this;
+    }
+    ~RowBuilder() { table_.row(std::move(cells_)); }
+
+  private:
+    TableWriter& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder add_row() { return RowBuilder(*this); }
+
+  /// Render the table.
+  std::string str() const;
+
+  /// Write rows (with header) as CSV.
+  void write_csv(const std::string& path) const;
+
+private:
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace landau

@@ -1,0 +1,76 @@
+#include "util/vtk.h"
+
+#include <fstream>
+
+#include "util/error.h"
+
+namespace landau {
+namespace {
+
+std::ofstream open_vtk(const std::string& path, std::size_t n_points) {
+  std::ofstream f(path);
+  if (!f) LANDAU_THROW("cannot open VTK output file '" << path << "'");
+  f << "# vtk DataFile Version 3.0\nlandau-cusim velocity-space output\nASCII\n"
+    << "DATASET UNSTRUCTURED_GRID\nPOINTS " << n_points << " double\n";
+  return f;
+}
+
+} // namespace
+
+void write_vtk(const std::string& path, const fem::FESpace& fes, const la::Vec& field,
+               const std::string& field_name) {
+  LANDAU_ASSERT(field.size() == fes.n_dofs(), "field size mismatch");
+  const auto& dm = fes.dofmap();
+  const int k = fes.order();
+
+  // Points: every node (constrained ones included; their values come from
+  // the closure so the surface is continuous).
+  std::vector<double> nodal(dm.n_nodes());
+  dm.expand(field.span(), nodal);
+
+  auto f = open_vtk(path, dm.n_nodes());
+  for (std::size_t n = 0; n < dm.n_nodes(); ++n) {
+    const auto p = dm.position(static_cast<std::int32_t>(n));
+    f << p[0] << " " << p[1] << " 0\n";
+  }
+
+  // Cells: each Qk element as k x k linear quads over its node lattice.
+  const std::size_t n_quads = fes.n_cells() * static_cast<std::size_t>(k) * static_cast<std::size_t>(k);
+  f << "CELLS " << n_quads << " " << 5 * n_quads << "\n";
+  const int n1 = k + 1;
+  for (std::size_t c = 0; c < fes.n_cells(); ++c) {
+    const auto nodes = dm.cell_nodes(c);
+    for (int j = 0; j < k; ++j)
+      for (int i = 0; i < k; ++i) {
+        const int a = j * n1 + i;
+        f << "4 " << nodes[static_cast<std::size_t>(a)] << " "
+          << nodes[static_cast<std::size_t>(a + 1)] << " "
+          << nodes[static_cast<std::size_t>(a + n1 + 1)] << " "
+          << nodes[static_cast<std::size_t>(a + n1)] << "\n";
+      }
+  }
+  f << "CELL_TYPES " << n_quads << "\n";
+  for (std::size_t q = 0; q < n_quads; ++q) f << "9\n"; // VTK_QUAD
+
+  f << "POINT_DATA " << dm.n_nodes() << "\nSCALARS " << field_name
+    << " double 1\nLOOKUP_TABLE default\n";
+  for (std::size_t n = 0; n < dm.n_nodes(); ++n) f << nodal[n] << "\n";
+}
+
+void write_vtk_mesh(const std::string& path, const fem::FESpace& fes) {
+  const auto& forest = fes.forest();
+  auto f = open_vtk(path, 4 * forest.n_leaves());
+  for (const auto& lf : forest.leaves()) {
+    f << lf.box.x0 << " " << lf.box.y0 << " 0\n" << lf.box.x1 << " " << lf.box.y0 << " 0\n"
+      << lf.box.x1 << " " << lf.box.y1 << " 0\n" << lf.box.x0 << " " << lf.box.y1 << " 0\n";
+  }
+  f << "CELLS " << forest.n_leaves() << " " << 5 * forest.n_leaves() << "\n";
+  for (std::size_t c = 0; c < forest.n_leaves(); ++c)
+    f << "4 " << 4 * c << " " << 4 * c + 1 << " " << 4 * c + 2 << " " << 4 * c + 3 << "\n";
+  f << "CELL_TYPES " << forest.n_leaves() << "\n";
+  for (std::size_t c = 0; c < forest.n_leaves(); ++c) f << "9\n";
+  f << "CELL_DATA " << forest.n_leaves() << "\nSCALARS level int 1\nLOOKUP_TABLE default\n";
+  for (const auto& lf : forest.leaves()) f << lf.level << "\n";
+}
+
+} // namespace landau

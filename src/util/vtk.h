@@ -1,0 +1,24 @@
+#pragma once
+// Legacy-VTK output of the adaptive velocity mesh and nodal distribution
+// functions — the artifact behind the paper's Fig. 1/3 visualizations
+// (they note "visualization artifacts from linear interpolation in Visit";
+// we export each Qk cell subdivided into k x k linear quads, which is the
+// same first-order view). Files load in ParaView/VisIt.
+
+#include <string>
+
+#include "fem/fespace.h"
+#include "la/vec.h"
+
+namespace landau {
+
+/// Write the mesh and one scalar field (free-dof vector) as an unstructured
+/// grid of linear quads (each Qk cell split into k^2 subquads, nodal values
+/// at the Qk nodes).
+void write_vtk(const std::string& path, const fem::FESpace& fes, const la::Vec& field,
+               const std::string& field_name = "f");
+
+/// Write only the mesh (cell outlines with refinement level as cell data).
+void write_vtk_mesh(const std::string& path, const fem::FESpace& fes);
+
+} // namespace landau

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <random>
+
+#include "la/csr.h"
+
+using landau::la::CooAssembler;
+using landau::la::CsrMatrix;
+using landau::la::DenseMatrix;
+using landau::la::SparsityPattern;
+using landau::la::Vec;
+
+namespace {
+
+CsrMatrix tridiag(std::size_t n) {
+  SparsityPattern p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.add(i, i);
+    if (i > 0) p.add(i, i - 1);
+    if (i + 1 < n) p.add(i, i + 1);
+  }
+  p.compress();
+  CsrMatrix a(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 2.0);
+    if (i > 0) a.add(i, i - 1, -1.0);
+    if (i + 1 < n) a.add(i, i + 1, -1.0);
+  }
+  return a;
+}
+
+} // namespace
+
+TEST(Csr, PatternAndEntryLookup) {
+  auto a = tridiag(5);
+  EXPECT_EQ(a.nnz(), 13u);
+  EXPECT_DOUBLE_EQ(a.get(2, 2), 2.0);
+  EXPECT_DOUBLE_EQ(a.get(2, 1), -1.0);
+  EXPECT_DOUBLE_EQ(a.get(2, 4), 0.0); // outside pattern reads as zero
+  EXPECT_THROW(a.add(0, 4, 1.0), landau::Error);
+}
+
+TEST(Csr, MatVecMatchesDense) {
+  auto a = tridiag(8);
+  auto d = a.to_dense();
+  Vec x(8), y1(8), y2(8);
+  for (std::size_t i = 0; i < 8; ++i) x[i] = std::sin(1.0 + static_cast<double>(i));
+  a.mult(x, y1);
+  d.mult(x, y2);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(y1[i], y2[i], 1e-15);
+}
+
+TEST(Csr, AddValuesBlock) {
+  SparsityPattern p(4, 4);
+  std::array<std::int32_t, 3> dofs = {0, 2, 3};
+  p.add_clique(dofs);
+  p.compress();
+  CsrMatrix a(p);
+  DenseMatrix blk(3, 3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j) blk(i, j) = static_cast<double>(10 * i + j);
+  a.add_values(dofs, dofs, blk);
+  a.add_values(dofs, dofs, blk); // additive semantics
+  EXPECT_DOUBLE_EQ(a.get(2, 3), 2 * 12.0);
+  EXPECT_DOUBLE_EQ(a.get(3, 0), 2 * 20.0);
+}
+
+TEST(Csr, AtomicAddMatchesPlainAdd) {
+  auto a = tridiag(6);
+  auto b = tridiag(6);
+  a.add(3, 2, 0.5);
+  b.add_atomic(3, 2, 0.5);
+  EXPECT_DOUBLE_EQ(a.get(3, 2), b.get(3, 2));
+}
+
+TEST(Csr, ShiftDiagonalAndAxpy) {
+  auto a = tridiag(5);
+  auto b = tridiag(5);
+  a.axpy(2.0, b); // a = 3 * tridiag
+  EXPECT_DOUBLE_EQ(a.get(2, 2), 6.0);
+  a.shift_diagonal(1.0);
+  EXPECT_DOUBLE_EQ(a.get(2, 2), 7.0);
+  EXPECT_DOUBLE_EQ(a.get(2, 1), -3.0);
+}
+
+TEST(Csr, BandwidthOfTridiagonalIsOne) {
+  EXPECT_EQ(tridiag(9).bandwidth(), 1u);
+}
+
+TEST(Coo, AssemblesDuplicatesAdditively) {
+  // COO list with repeated coordinates: values must accumulate.
+  std::vector<std::int32_t> ci = {0, 1, 1, 2, 0};
+  std::vector<std::int32_t> cj = {0, 1, 1, 2, 1};
+  CooAssembler coo(3, 3, ci, cj);
+  std::vector<double> vals = {1.0, 2.0, 3.0, 4.0, 5.0};
+  coo.assemble(vals);
+  const auto& m = coo.matrix();
+  EXPECT_DOUBLE_EQ(m.get(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.get(1, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.get(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.get(0, 1), 5.0);
+}
+
+TEST(Coo, ReassemblyZeroesFirst) {
+  std::vector<std::int32_t> ci = {0, 1};
+  std::vector<std::int32_t> cj = {0, 1};
+  CooAssembler coo(2, 2, ci, cj);
+  std::vector<double> v1 = {1.0, 1.0};
+  coo.assemble(v1);
+  std::vector<double> v2 = {7.0, 8.0};
+  coo.assemble(v2);
+  EXPECT_DOUBLE_EQ(coo.matrix().get(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(coo.matrix().get(1, 1), 8.0);
+}
+
+TEST(Coo, MatchesMatSetValuesPath) {
+  // Assemble the same random element contributions through both interfaces.
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> dist(-1, 1);
+  const std::size_t n = 10;
+  std::vector<std::array<std::int32_t, 3>> elements = {
+      {0, 1, 2}, {2, 3, 4}, {4, 5, 6}, {6, 7, 8}, {8, 9, 0}, {1, 4, 7}};
+
+  SparsityPattern p(n, n);
+  for (auto& e : elements) p.add_clique(e);
+  p.compress();
+  CsrMatrix a(p);
+
+  std::vector<std::int32_t> ci, cj;
+  std::vector<double> vals;
+  for (auto& e : elements) {
+    DenseMatrix blk(3, 3);
+    for (std::size_t i = 0; i < 3; ++i)
+      for (std::size_t j = 0; j < 3; ++j) {
+        blk(i, j) = dist(rng);
+        ci.push_back(e[i]);
+        cj.push_back(e[j]);
+        vals.push_back(blk(i, j));
+      }
+    a.add_values(e, e, blk);
+  }
+  CooAssembler coo(n, n, ci, cj);
+  coo.assemble(vals);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) EXPECT_NEAR(a.get(i, j), coo.matrix().get(i, j), 1e-15);
+}

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "fem/dofmap.h"
+#include "fem/fespace.h"
+#include "mesh/forest.h"
+
+using namespace landau;
+using namespace landau::fem;
+using mesh::Box;
+using mesh::Forest;
+
+namespace {
+
+Forest conforming_mesh() {
+  Forest f(Box{0, -2, 2, 2}, 1, 2);
+  f.refine_uniform(2);
+  return f;
+}
+
+Forest nonconforming_mesh() {
+  Forest f(Box{0, -2, 2, 2}, 1, 2);
+  f.refine_uniform(1);
+  f.refine_where([](const Box& b, int) { return b.cx() < 1.0 && b.cy() > 0.0; });
+  f.balance();
+  return f;
+}
+
+} // namespace
+
+class DofMapOrders : public ::testing::TestWithParam<int> {};
+
+TEST_P(DofMapOrders, ConformingMeshCountsMatchTensorFormula) {
+  const int k = GetParam();
+  auto forest = conforming_mesh(); // uniform 4 x 8 grid of cells
+  Tabulation tab(k);
+  DofMap dm(forest, tab);
+  EXPECT_EQ(dm.n_nodes(), static_cast<std::size_t>((4 * k + 1) * (8 * k + 1)));
+  EXPECT_EQ(dm.n_free(), dm.n_nodes()); // no hanging nodes on a uniform mesh
+}
+
+TEST_P(DofMapOrders, SharedEdgeNodesHaveOneGlobalId) {
+  const int k = GetParam();
+  auto forest = conforming_mesh();
+  Tabulation tab(k);
+  DofMap dm(forest, tab);
+  // Total (cell x local) incidences minus duplicates must equal n_nodes.
+  std::set<std::int32_t> unique;
+  for (std::size_t c = 0; c < dm.n_cells(); ++c)
+    for (auto n : dm.cell_nodes(c)) unique.insert(n);
+  EXPECT_EQ(unique.size(), dm.n_nodes());
+}
+
+TEST_P(DofMapOrders, HangingNodesAreConstrained) {
+  const int k = GetParam();
+  auto forest = nonconforming_mesh();
+  Tabulation tab(k);
+  DofMap dm(forest, tab);
+  EXPECT_LT(dm.n_free(), dm.n_nodes()); // some nodes constrained
+  // Constrained node closures: weights sum to 1 (preservation of constants).
+  for (std::size_t n = 0; n < dm.n_nodes(); ++n) {
+    double s = 0;
+    for (const auto& [dof, w] : dm.closure(static_cast<std::int32_t>(n))) {
+      (void)dof;
+      s += w;
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12) << "node " << n;
+  }
+}
+
+TEST_P(DofMapOrders, Q3HangingNodeHasFourMasters) {
+  const int k = GetParam();
+  auto forest = nonconforming_mesh();
+  Tabulation tab(k);
+  DofMap dm(forest, tab);
+  std::size_t n_constrained = 0;
+  for (std::size_t n = 0; n < dm.n_nodes(); ++n) {
+    if (!dm.is_constrained(static_cast<std::int32_t>(n))) continue;
+    ++n_constrained;
+    const auto closure = dm.closure(static_cast<std::int32_t>(n));
+    // Up to k+1 masters per constrained dof (exactly 4 for Q3, §V-A1),
+    // possibly more only through constraint chains.
+    EXPECT_GE(closure.size(), 2u);
+  }
+  EXPECT_GT(n_constrained, 0u);
+  (void)k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, DofMapOrders, ::testing::Values(1, 2, 3));
+
+TEST(DofMap, ConstrainedInterpolationReproducesPolynomials) {
+  // A global polynomial of the element order interpolated at the free nodes
+  // must be reproduced exactly at every constrained node via its closure —
+  // this validates the hanging-node weights across the refinement boundary.
+  for (int k : {1, 2, 3}) {
+    auto forest = nonconforming_mesh();
+    FESpace fes(forest, k);
+    const auto& dm = fes.dofmap();
+    auto poly = [k](double x, double y) {
+      return std::pow(0.3 * x - 0.7 * y + 0.2, k); // degree-k polynomial
+    };
+    la::Vec free = fes.interpolate(poly);
+    std::vector<double> nodal(dm.n_nodes());
+    dm.expand(free.span(), nodal);
+    for (std::size_t n = 0; n < dm.n_nodes(); ++n) {
+      const auto p = dm.position(static_cast<std::int32_t>(n));
+      EXPECT_NEAR(nodal[n], poly(p[0], p[1]), 1e-11)
+          << "order " << k << " node " << n << " at (" << p[0] << "," << p[1] << ")";
+    }
+  }
+}
+
+TEST(DofMap, ContinuityAcrossHangingInterface) {
+  // Evaluate the FE function from the fine side and from the coarse side of
+  // a non-conforming interface at shared physical points: values must agree.
+  auto forest = nonconforming_mesh();
+  FESpace fes(forest, 3);
+  const auto& dm = fes.dofmap();
+  const auto& tab = fes.tabulation();
+  la::Vec free(fes.n_dofs());
+  for (std::size_t i = 0; i < free.size(); ++i)
+    free[i] = std::sin(static_cast<double>(i)); // arbitrary coefficients
+  std::vector<double> nodal(dm.n_nodes());
+  dm.expand(free.span(), nodal);
+
+  auto eval_in_cell = [&](std::size_t c, double x, double y) {
+    const auto g = fes.geometry(c);
+    const double rx = 2.0 * (x - g.x0) / g.dx - 1.0;
+    const double ry = 2.0 * (y - g.y0) / g.dy - 1.0;
+    std::vector<double> vals(static_cast<std::size_t>(tab.n_basis()));
+    tab.eval_basis(rx, ry, vals.data());
+    double v = 0;
+    const auto nodes = dm.cell_nodes(c);
+    for (int b = 0; b < tab.n_basis(); ++b)
+      v += vals[static_cast<std::size_t>(b)] * nodal[static_cast<std::size_t>(nodes[static_cast<std::size_t>(b)])];
+    return v;
+  };
+
+  int checked = 0;
+  for (std::size_t c = 0; c < fes.n_cells(); ++c) {
+    for (int e = 0; e < 4; ++e) {
+      auto nb = forest.neighbor(c, static_cast<mesh::Edge>(e));
+      if (nb.kind != mesh::Forest::NeighborInfo::Kind::Coarser) continue;
+      // Points strictly inside my edge.
+      const auto& myb = forest.leaf(c).box;
+      for (double t : {0.21, 0.5, 0.83}) {
+        double x, y;
+        switch (static_cast<mesh::Edge>(e)) {
+          case mesh::Edge::XLow: x = myb.x0; y = myb.y0 + t * myb.dy(); break;
+          case mesh::Edge::XHigh: x = myb.x1; y = myb.y0 + t * myb.dy(); break;
+          case mesh::Edge::YLow: x = myb.x0 + t * myb.dx(); y = myb.y0; break;
+          default: x = myb.x0 + t * myb.dx(); y = myb.y1; break;
+        }
+        const double vf = eval_in_cell(c, x, y);
+        const double vc = eval_in_cell(static_cast<std::size_t>(nb.leaf), x, y);
+        EXPECT_NEAR(vf, vc, 1e-10);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(DofMap, CellFreeDofsAreSortedUnique) {
+  auto forest = nonconforming_mesh();
+  Tabulation tab(3);
+  DofMap dm(forest, tab);
+  for (std::size_t c = 0; c < dm.n_cells(); ++c) {
+    auto dofs = dm.cell_free_dofs(c);
+    for (std::size_t i = 1; i < dofs.size(); ++i) EXPECT_LT(dofs[i - 1], dofs[i]);
+    for (auto d : dofs) {
+      EXPECT_GE(d, 0);
+      EXPECT_LT(static_cast<std::size_t>(d), dm.n_free());
+    }
+  }
+}
+
+TEST(DofMap, ExpandRestrictAreTransposes) {
+  auto forest = nonconforming_mesh();
+  Tabulation tab(3);
+  DofMap dm(forest, tab);
+  // <expand(x), y>_nodes == <x, restrict(y)>_free for random x, y.
+  la::Vec x(dm.n_free()), rx(dm.n_free(), 0.0);
+  std::vector<double> y(dm.n_nodes()), ex(dm.n_nodes());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = std::cos(1.7 * static_cast<double>(i));
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = std::sin(0.3 * static_cast<double>(i));
+  dm.expand(x.span(), ex);
+  dm.restrict_add(y, rx.span());
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) lhs += ex[i] * y[i];
+  for (std::size_t i = 0; i < x.size(); ++i) rhs += x[i] * rx[i];
+  EXPECT_NEAR(lhs, rhs, 1e-10 * std::abs(lhs));
+}

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "mesh/forest.h"
+
+using namespace landau::mesh;
+
+namespace {
+
+Box velocity_domain() { return Box{0.0, -5.0, 5.0, 5.0}; }
+
+double box_area(const Box& b) { return b.dx() * b.dy(); }
+
+} // namespace
+
+TEST(Forest, RootsTileTheDomain) {
+  Forest f(velocity_domain(), 1, 2);
+  ASSERT_EQ(f.n_leaves(), 2u);
+  double area = 0;
+  for (const auto& lf : f.leaves()) area += box_area(lf.box);
+  EXPECT_NEAR(area, 50.0, 1e-12);
+  // Roots of a 1x2 forest over [0,5]x[-5,5] are unit squares scaled by 5.
+  EXPECT_NEAR(f.leaf(0).box.dy(), 5.0, 1e-12);
+}
+
+TEST(Forest, UniformRefinementQuadruplesCells) {
+  Forest f(velocity_domain(), 1, 2);
+  f.refine_uniform(3);
+  EXPECT_EQ(f.n_leaves(), 2u * 64u);
+  double area = 0;
+  for (const auto& lf : f.leaves()) area += box_area(lf.box);
+  EXPECT_NEAR(area, 50.0, 1e-10);
+}
+
+TEST(Forest, PredicateRefinementTargetsOrigin) {
+  Forest f(velocity_domain(), 1, 2);
+  f.refine_uniform(2);
+  // Refine cells near the velocity-space origin (0, 0).
+  auto near_origin = [](const Box& b, int level) {
+    if (level >= 4) return false;
+    const double r = std::hypot(std::max(0.0, b.x0), std::max(std::abs(b.cy()) - b.dy() / 2, 0.0));
+    return r < 1.5;
+  };
+  while (f.refine_where(near_origin) > 0) {
+  }
+  f.balance();
+  // Smallest cells must be near the origin, largest far away.
+  double min_near = 1e30, min_far = 1e30;
+  for (const auto& lf : f.leaves()) {
+    const double d = std::hypot(lf.box.cx(), lf.box.cy());
+    if (d < 1.0)
+      min_near = std::min(min_near, lf.box.dx());
+    else if (d > 4.0)
+      min_far = std::min(min_far, lf.box.dx());
+  }
+  EXPECT_LT(min_near, min_far);
+}
+
+TEST(Forest, BalanceEnforcesTwoToOne) {
+  Forest f(velocity_domain(), 1, 2);
+  f.refine_uniform(1);
+  // Deeply refine one corner cell to force imbalance.
+  for (int pass = 0; pass < 4; ++pass)
+    f.refine_where([&](const Box& b, int) { return b.x0 < 1e-9 && b.y0 < -5.0 + 1e-9; });
+  f.balance();
+  // Every edge neighbor differs by at most one level.
+  for (std::size_t i = 0; i < f.n_leaves(); ++i)
+    for (int e = 0; e < 4; ++e) {
+      auto nb = f.neighbor(i, static_cast<Edge>(e));
+      if (nb.kind == Forest::NeighborInfo::Kind::Same ||
+          nb.kind == Forest::NeighborInfo::Kind::Coarser) {
+        EXPECT_LE(std::abs(f.leaf(i).level - f.leaf(static_cast<std::size_t>(nb.leaf)).level), 1);
+      } else if (nb.kind == Forest::NeighborInfo::Kind::Finer) {
+        for (int c = 0; c < 2; ++c)
+          EXPECT_EQ(f.leaf(static_cast<std::size_t>(nb.finer_leaves[c])).level, f.leaf(i).level + 1);
+      }
+    }
+}
+
+TEST(Forest, NeighborKindsConsistent) {
+  Forest f(velocity_domain(), 1, 2);
+  f.refine_uniform(2);
+  f.refine_where([](const Box& b, int) { return b.cx() < 2.5 && b.cy() > 0; });
+  f.balance();
+  for (std::size_t i = 0; i < f.n_leaves(); ++i) {
+    for (int e = 0; e < 4; ++e) {
+      auto nb = f.neighbor(i, static_cast<Edge>(e));
+      switch (nb.kind) {
+        case Forest::NeighborInfo::Kind::Same: {
+          // Reciprocity: my Same neighbor sees me as Same across the
+          // opposite edge.
+          const int opposite = (e % 2 == 0) ? e + 1 : e - 1;
+          auto back = f.neighbor(static_cast<std::size_t>(nb.leaf), static_cast<Edge>(opposite));
+          EXPECT_EQ(back.kind, Forest::NeighborInfo::Kind::Same);
+          EXPECT_EQ(back.leaf, static_cast<int>(i));
+          break;
+        }
+        case Forest::NeighborInfo::Kind::Finer: {
+          EXPECT_GE(nb.finer_leaves[0], 0);
+          EXPECT_GE(nb.finer_leaves[1], 0);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+}
+
+TEST(Forest, BoundaryEdgesReported) {
+  Forest f(velocity_domain(), 1, 2);
+  f.refine_uniform(1);
+  int boundary_edges = 0;
+  for (std::size_t i = 0; i < f.n_leaves(); ++i)
+    for (int e = 0; e < 4; ++e)
+      if (f.neighbor(i, static_cast<Edge>(e)).kind == Forest::NeighborInfo::Kind::Boundary)
+        ++boundary_edges;
+  // 2x4 grid of cells: perimeter has 2+2+4+4 = 12 boundary edges.
+  EXPECT_EQ(boundary_edges, 12);
+}
+
+TEST(Forest, FindPointLocatesLeaves) {
+  Forest f(velocity_domain(), 1, 2);
+  f.refine_uniform(2);
+  f.refine_where([](const Box& b, int) { return b.cx() < 1.0 && std::abs(b.cy()) < 1.0; });
+  f.balance();
+  for (const auto& p : std::vector<std::pair<double, double>>{{0.1, 0.1}, {4.9, -4.9}, {2.5, 3.3}}) {
+    const int idx = f.find_point(p.first, p.second);
+    ASSERT_GE(idx, 0);
+    const auto& b = f.leaf(static_cast<std::size_t>(idx)).box;
+    EXPECT_GE(p.first, b.x0 - 1e-12);
+    EXPECT_LE(p.first, b.x1 + 1e-12);
+    EXPECT_GE(p.second, b.y0 - 1e-12);
+    EXPECT_LE(p.second, b.y1 + 1e-12);
+  }
+  EXPECT_EQ(f.find_point(-1.0, 0.0), -1);
+}
+
+TEST(Forest, LeafOrderingIsDeterministic) {
+  Forest f1(velocity_domain(), 1, 2);
+  Forest f2(velocity_domain(), 1, 2);
+  for (Forest* f : {&f1, &f2}) {
+    f->refine_uniform(2);
+    f->refine_where([](const Box& b, int) { return std::hypot(b.cx(), b.cy()) < 2.0; });
+    f->balance();
+  }
+  ASSERT_EQ(f1.n_leaves(), f2.n_leaves());
+  for (std::size_t i = 0; i < f1.n_leaves(); ++i) {
+    EXPECT_EQ(f1.leaf(i).level, f2.leaf(i).level);
+    EXPECT_EQ(f1.leaf(i).gx, f2.leaf(i).gx);
+    EXPECT_EQ(f1.leaf(i).gy, f2.leaf(i).gy);
+  }
+}
+
+TEST(Forest, LeavesPartitionWithoutOverlap) {
+  Forest f(velocity_domain(), 1, 2);
+  f.refine_uniform(2);
+  f.refine_where([](const Box& b, int) { return b.cy() > 2.0; });
+  f.balance();
+  // Sample many points; each lies in exactly one leaf.
+  for (int i = 0; i < 200; ++i) {
+    const double x = 5.0 * (i % 17) / 17.0 + 0.01;
+    const double y = -5.0 + 10.0 * (i % 23) / 23.0 + 0.01;
+    int containing = 0;
+    for (const auto& lf : f.leaves())
+      if (x >= lf.box.x0 && x < lf.box.x1 && y >= lf.box.y0 && y < lf.box.y1) ++containing;
+    EXPECT_EQ(containing, 1) << "point (" << x << "," << y << ")";
+  }
+}

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/gmres.h"
+
+using namespace landau::la;
+
+namespace {
+
+CsrMatrix laplacian_1d(std::size_t n) {
+  SparsityPattern p(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.add(i, i);
+    if (i > 0) p.add(i, i - 1);
+    if (i + 1 < n) p.add(i, i + 1);
+  }
+  p.compress();
+  CsrMatrix a(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.add(i, i, 2.0);
+    if (i > 0) a.add(i, i - 1, -1.0);
+    if (i + 1 < n) a.add(i, i + 1, -1.0);
+  }
+  return a;
+}
+
+} // namespace
+
+TEST(Gmres, SolvesSpdLaplacian) {
+  const std::size_t n = 50;
+  auto a = laplacian_1d(n);
+  Vec xref(n), b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) xref[i] = std::sin(0.2 * static_cast<double>(i));
+  a.mult(xref, b);
+  auto res = gmres_solve(a, b, x);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-7);
+}
+
+TEST(Gmres, NonsymmetricSystem) {
+  const std::size_t n = 30;
+  auto a = laplacian_1d(n);
+  // Add asymmetric convection within the pattern.
+  for (std::size_t i = 1; i < n; ++i) a.add(i, i - 1, 0.5);
+  Vec xref(n), b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) xref[i] = 1.0 / (1.0 + static_cast<double>(i));
+  a.mult(xref, b);
+  auto res = gmres_solve(a, b, x);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-7);
+}
+
+TEST(Gmres, WarmStartConvergesImmediately) {
+  const std::size_t n = 20;
+  auto a = laplacian_1d(n);
+  Vec xref(n), b(n);
+  for (std::size_t i = 0; i < n; ++i) xref[i] = static_cast<double>(i);
+  a.mult(xref, b);
+  Vec x = xref; // exact initial guess
+  auto res = gmres_solve(a, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(Gmres, RestartPathStillConverges) {
+  const std::size_t n = 100;
+  auto a = laplacian_1d(n);
+  Vec xref(n), b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) xref[i] = std::cos(0.05 * static_cast<double>(i));
+  a.mult(xref, b);
+  GmresOptions opts;
+  opts.restart = 10; // force restarts
+  opts.max_iterations = 5000;
+  auto res = gmres_solve(a, b, x, opts);
+  EXPECT_TRUE(res.converged);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-6);
+}
+
+TEST(Gmres, ReportsNonConvergenceWithinBudget) {
+  const std::size_t n = 200;
+  auto a = laplacian_1d(n);
+  Vec b(n, 1.0), x(n);
+  GmresOptions opts;
+  opts.max_iterations = 3;
+  opts.rtol = 1e-14;
+  auto res = gmres_solve(a, b, x, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_GT(res.residual_norm, 0.0);
+}

@@ -1,0 +1,217 @@
+// Back-end consistency and basic physics of the Landau Jacobian kernels.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/operator.h"
+#include "util/special_math.h"
+
+using namespace landau;
+
+namespace {
+
+LandauOptions small_opts(Backend backend = Backend::Cpu) {
+  LandauOptions o;
+  o.order = 2; // keep kernel tests quick; Q3 covered in operator tests
+  o.radius = 4.0;
+  o.base_levels = 1;
+  o.cells_per_thermal = 0.6;
+  o.max_levels = 3;
+  o.backend = backend;
+  o.n_workers = 2;
+  return o;
+}
+
+/// A clearly non-equilibrium two-bump state for one species.
+double two_bump(double r, double z) {
+  return maxwellian_rz(r, z, 0.6, 0.8, 1.0) + maxwellian_rz(r, z, 0.4, 0.5, -1.2);
+}
+
+} // namespace
+
+TEST(Kernels, AllBackendsProduceTheSameJacobian) {
+  auto species = SpeciesSet::electron_deuterium();
+  // Reduce the mass ratio so the shared grid stays small for this test.
+  species[1].mass = 25.0;
+  LandauOperator op(species, small_opts());
+  la::Vec f = op.maxwellian_state();
+  op.pack(f);
+
+  la::CsrMatrix j_cpu = op.new_matrix();
+  la::CsrMatrix j_cuda = op.new_matrix();
+  la::CsrMatrix j_kokkos = op.new_matrix();
+
+  exec::ThreadPool pool(2);
+  JacobianContext ctx;
+  ctx.init(op.space(), op.species(), op.ip_data());
+  assemble_landau_jacobian(Backend::Cpu, pool, ctx, j_cpu);
+  assemble_landau_jacobian(Backend::CudaSim, pool, ctx, j_cuda);
+  assemble_landau_jacobian(Backend::KokkosSim, pool, ctx, j_kokkos);
+
+  double scale = 0.0;
+  for (std::size_t k = 0; k < j_cpu.nnz(); ++k)
+    scale = std::max(scale, std::abs(j_cpu.values()[k]));
+  ASSERT_GT(scale, 0.0);
+  for (std::size_t k = 0; k < j_cpu.nnz(); ++k) {
+    EXPECT_NEAR(j_cuda.values()[k], j_cpu.values()[k], 1e-11 * scale);
+    EXPECT_NEAR(j_kokkos.values()[k], j_cpu.values()[k], 1e-11 * scale);
+  }
+}
+
+TEST(Kernels, JacobianIsBlockDiagonalAcrossSpecies) {
+  auto species = SpeciesSet::electron_deuterium();
+  species[1].mass = 25.0;
+  LandauOperator op(species, small_opts());
+  la::Vec f = op.maxwellian_state();
+  op.pack(f);
+  la::CsrMatrix j = op.new_matrix();
+  op.add_collision(j);
+  const std::size_t nf = op.n_dofs_per_species();
+  auto rowptr = j.row_offsets();
+  auto colind = j.col_indices();
+  for (std::size_t i = 0; i < j.rows(); ++i)
+    for (std::int32_t k = rowptr[i]; k < rowptr[i + 1]; ++k)
+      EXPECT_EQ(i / nf, static_cast<std::size_t>(colind[k]) / nf)
+          << "cross-species coupling at (" << i << "," << colind[k] << ")";
+}
+
+TEST(Kernels, MaxwellianIsNearEquilibrium) {
+  // C(f_M) f_M must be small compared to C(g) g for a non-equilibrium g.
+  SpeciesSet electron_only(
+      {{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0}});
+  auto opts = small_opts();
+  opts.order = 3;
+  opts.cells_per_thermal = 1.2;
+  opts.max_levels = 3;
+  LandauOperator op(electron_only, opts);
+
+  la::Vec fm = op.maxwellian_state();
+  op.pack(fm);
+  la::CsrMatrix c = op.new_matrix();
+  op.add_collision(c);
+  la::Vec rm(op.n_total());
+  c.mult(fm, rm);
+
+  la::Vec g = op.project([](int, double r, double z) { return two_bump(r, z); });
+  op.pack(g);
+  c.zero_entries();
+  op.add_collision(c);
+  la::Vec rg(op.n_total());
+  c.mult(g, rg);
+
+  EXPECT_LT(rm.norm2(), 2e-2 * rg.norm2());
+}
+
+TEST(Kernels, CollisionAnnihilatesConstantsExactly) {
+  // Column sums against the constant test function vanish: density moment of
+  // C f is zero for any f (grad psi = 0 kills both terms).
+  SpeciesSet electron_only(
+      {{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0}});
+  LandauOperator op(electron_only, small_opts());
+  la::Vec g = op.project([](int, double r, double z) { return two_bump(r, z); });
+  op.pack(g);
+  la::CsrMatrix c = op.new_matrix();
+  op.add_collision(c);
+  la::Vec cf(op.n_total());
+  c.mult(g, cf);
+  // 1^T M^{-1}... the weak-form statement is sum_a psi_a(=1) . (C f)_a = 0
+  // where the coefficient vector of psi=1 is all ones.
+  double s = 0.0, amax = 0.0;
+  for (std::size_t i = 0; i < cf.size(); ++i) {
+    s += cf[i];
+    amax = std::max(amax, std::abs(cf[i]));
+  }
+  EXPECT_NEAR(s, 0.0, 1e-10 * std::max(amax, 1e-30) * static_cast<double>(cf.size()));
+}
+
+TEST(Kernels, CountersReportComputeBoundJacobian) {
+  SpeciesSet electron_only(
+      {{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0}});
+  LandauOperator op(electron_only, small_opts(Backend::CudaSim));
+  la::Vec f = op.maxwellian_state();
+  op.pack(f);
+  la::CsrMatrix j = op.new_matrix();
+  exec::KernelCounters jac_counters, mass_counters;
+  op.add_collision(j, &jac_counters);
+  op.add_mass_kernel(j, 1.0, &mass_counters);
+  // The paper's Table IV contrast: Jacobian AI >> mass AI.
+  EXPECT_GT(jac_counters.arithmetic_intensity(), 4.0);
+  EXPECT_LT(mass_counters.arithmetic_intensity(), 2.5);
+  EXPECT_GT(jac_counters.arithmetic_intensity(), 4.0 * mass_counters.arithmetic_intensity());
+}
+
+TEST(Kernels, MassKernelMatchesHostMassMatrix) {
+  auto species = SpeciesSet::electron_deuterium();
+  species[1].mass = 25.0;
+  LandauOperator op(species, small_opts(Backend::CudaSim));
+  la::Vec f = op.maxwellian_state();
+  op.pack(f);
+  la::CsrMatrix m_kernel = op.new_matrix();
+  op.add_mass_kernel(m_kernel, 1.0);
+  const auto& m_host = op.mass();
+  double scale = 0.0;
+  for (std::size_t k = 0; k < m_host.nnz(); ++k)
+    scale = std::max(scale, std::abs(m_host.values()[k]));
+  for (std::size_t k = 0; k < m_host.nnz(); ++k)
+    EXPECT_NEAR(m_kernel.values()[k], m_host.values()[k], 1e-12 * scale);
+}
+
+TEST(Kernels, CooAssemblyMatchesTraditionalPath) {
+  // §III-F: the COO interface must produce exactly the same matrix as the
+  // MatSetValues-style path, without the CPU first-assembly step and without
+  // atomics (disjoint slots per element).
+  auto species = SpeciesSet::electron_deuterium();
+  species[1].mass = 25.0;
+  LandauOperator op(species, small_opts());
+  la::Vec f = op.project([](int s, double r, double z) {
+    return two_bump(r, z) * (s == 0 ? 1.0 : 0.7);
+  });
+  op.pack(f);
+
+  la::CsrMatrix direct = op.new_matrix();
+  op.add_collision(direct);
+
+  exec::ThreadPool pool(2);
+  JacobianContext ctx;
+  ctx.init(op.space(), op.species(), op.ip_data());
+  CooJacobianAssembler coo(op.space(), op.n_species());
+  coo.assemble(Backend::CudaSim, pool, ctx);
+  const auto& m = coo.matrix();
+
+  ASSERT_EQ(m.nnz(), direct.nnz());
+  double scale = 0.0;
+  for (std::size_t k = 0; k < direct.nnz(); ++k)
+    scale = std::max(scale, std::abs(direct.values()[k]));
+  for (std::size_t k = 0; k < direct.nnz(); ++k)
+    EXPECT_NEAR(m.values()[k], direct.values()[k], 1e-12 * scale);
+
+  // Reassembly about a different state matches a fresh direct assembly.
+  la::Vec g = op.maxwellian_state();
+  op.pack(g);
+  JacobianContext ctx2;
+  ctx2.init(op.space(), op.species(), op.ip_data());
+  coo.assemble(Backend::KokkosSim, pool, ctx2);
+  la::CsrMatrix direct2 = op.new_matrix();
+  op.add_collision(direct2);
+  for (std::size_t k = 0; k < direct2.nnz(); ++k)
+    EXPECT_NEAR(coo.matrix().values()[k], direct2.values()[k], 1e-12 * scale);
+}
+
+TEST(Kernels, AdvectionShiftsMomentumNotDensity) {
+  SpeciesSet electron_only(
+      {{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0}});
+  LandauOperator op(electron_only, small_opts());
+  la::Vec f = op.maxwellian_state();
+  op.pack(f);
+  la::CsrMatrix a = op.new_matrix();
+  op.add_advection(a, 0.3);
+  la::Vec af(op.n_total());
+  a.mult(f, af);
+  // Density moment of A f ~ 0 (boundary flux only); momentum moment nonzero.
+  double density_rate = 0.0;
+  for (std::size_t i = 0; i < af.size(); ++i) density_rate += af[i];
+  la::Vec z_fn = op.project([](int, double, double z) { return z; });
+  EXPECT_GT(std::abs(z_fn.dot(af)), 1e-6);
+  EXPECT_LT(std::abs(density_rate), 1e-6 * std::abs(z_fn.dot(af)));
+}

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fem/lagrange.h"
+#include "fem/tabulation.h"
+
+using namespace landau::fem;
+
+class LagrangeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LagrangeSweep, KroneckerPropertyAtNodes) {
+  const Lagrange1D basis(GetParam());
+  for (int i = 0; i < basis.n_nodes(); ++i)
+    for (int j = 0; j < basis.n_nodes(); ++j)
+      EXPECT_NEAR(basis.eval(j, basis.nodes()[static_cast<std::size_t>(i)]), i == j ? 1.0 : 0.0,
+                  1e-13);
+}
+
+TEST_P(LagrangeSweep, PartitionOfUnity) {
+  const Lagrange1D basis(GetParam());
+  for (double x : {-1.0, -0.7, -0.3, 0.0, 0.2, 0.55, 0.99, 1.0}) {
+    double s = 0, ds = 0;
+    for (int j = 0; j < basis.n_nodes(); ++j) {
+      s += basis.eval(j, x);
+      ds += basis.eval_deriv(j, x);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-12);
+    EXPECT_NEAR(ds, 0.0, 1e-11);
+  }
+}
+
+TEST_P(LagrangeSweep, ReproducesPolynomialsOfItsOrder) {
+  const int k = GetParam();
+  const Lagrange1D basis(k);
+  // Interpolate x^k at the nodes and check at off-node points.
+  for (double x : {-0.9, -0.123, 0.4, 0.8}) {
+    double interp = 0, dinterp = 0;
+    for (int j = 0; j < basis.n_nodes(); ++j) {
+      const double fj = std::pow(basis.nodes()[static_cast<std::size_t>(j)], k);
+      interp += fj * basis.eval(j, x);
+      dinterp += fj * basis.eval_deriv(j, x);
+    }
+    EXPECT_NEAR(interp, std::pow(x, k), 1e-12);
+    EXPECT_NEAR(dinterp, k * std::pow(x, k - 1), 1e-10);
+  }
+}
+
+TEST_P(LagrangeSweep, NodesSymmetricWithEndpoints) {
+  const auto nodes = gauss_lobatto_nodes(GetParam());
+  EXPECT_DOUBLE_EQ(nodes.front(), -1.0);
+  EXPECT_DOUBLE_EQ(nodes.back(), 1.0);
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    EXPECT_DOUBLE_EQ(nodes[i], -nodes[nodes.size() - 1 - i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, LagrangeSweep, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(Lagrange, Q3NodesAreGllPoints) {
+  // GLL nodes for k=3: {-1, -1/sqrt(5), 1/sqrt(5), 1}.
+  const auto nodes = gauss_lobatto_nodes(3);
+  EXPECT_NEAR(nodes[1], -1.0 / std::sqrt(5.0), 1e-14);
+  EXPECT_NEAR(nodes[2], 1.0 / std::sqrt(5.0), 1e-14);
+}
+
+TEST(Tabulation, PartitionOfUnityAtQuadraturePoints) {
+  for (int k : {1, 2, 3}) {
+    const Tabulation tab(k);
+    for (int q = 0; q < tab.n_quad(); ++q) {
+      double s = 0, gx = 0, gy = 0;
+      for (int b = 0; b < tab.n_basis(); ++b) {
+        s += tab.B(q, b);
+        gx += tab.E(q, b, 0);
+        gy += tab.E(q, b, 1);
+      }
+      EXPECT_NEAR(s, 1.0, 1e-12);
+      EXPECT_NEAR(gx, 0.0, 1e-11);
+      EXPECT_NEAR(gy, 0.0, 1e-11);
+    }
+  }
+}
+
+TEST(Tabulation, GradientsDifferentiateTensorPolynomials) {
+  const Tabulation tab(3);
+  // Coefficients of f(x,y) = x^2 y at the nodes; check gradient tabulation.
+  std::vector<double> coeff(static_cast<std::size_t>(tab.n_basis()));
+  for (int b = 0; b < tab.n_basis(); ++b)
+    coeff[static_cast<std::size_t>(b)] = tab.node_x(b) * tab.node_x(b) * tab.node_y(b);
+  for (int q = 0; q < tab.n_quad(); ++q) {
+    double v = 0, dx = 0, dy = 0;
+    for (int b = 0; b < tab.n_basis(); ++b) {
+      v += tab.B(q, b) * coeff[static_cast<std::size_t>(b)];
+      dx += tab.E(q, b, 0) * coeff[static_cast<std::size_t>(b)];
+      dy += tab.E(q, b, 1) * coeff[static_cast<std::size_t>(b)];
+    }
+    EXPECT_NEAR(v, tab.qx(q) * tab.qx(q) * tab.qy(q), 1e-12);
+    EXPECT_NEAR(dx, 2 * tab.qx(q) * tab.qy(q), 1e-11);
+    EXPECT_NEAR(dy, tab.qx(q) * tab.qx(q), 1e-11);
+  }
+}
+
+TEST(Tabulation, EvalBasisMatchesTables) {
+  const Tabulation tab(2);
+  std::vector<double> vals(static_cast<std::size_t>(tab.n_basis()));
+  for (int q = 0; q < tab.n_quad(); ++q) {
+    tab.eval_basis(tab.qx(q), tab.qy(q), vals.data());
+    for (int b = 0; b < tab.n_basis(); ++b)
+      EXPECT_NEAR(vals[static_cast<std::size_t>(b)], tab.B(q, b), 1e-14);
+  }
+}

@@ -1,0 +1,218 @@
+// Full 3D velocity-space Landau operator: discretization sanity, exact
+// conservation of density / all momentum components / energy (the plain 3D
+// tensor is symmetric and annihilates v - vbar), Maxwellian equilibrium,
+// back-end consistency and relaxation physics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "landau3d/operator3d.h"
+#include "solver/implicit.h"
+#include "util/special_math.h"
+
+using namespace landau;
+using namespace landau::v3;
+
+namespace {
+
+// The 3D grid is uniform (no AMR), so the tests use a hot species whose
+// thermal width spans a cell: temperature 2.5 -> theta ~ 1.96, vth ~ 1.4
+// against h = 1.75 with Q3 nodes.
+SpeciesSet electron_only() {
+  return SpeciesSet(
+      {{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 2.5}});
+}
+
+Landau3DOptions small3d(Backend be = Backend::CudaSim) {
+  Landau3DOptions o;
+  o.radius = 3.5;
+  o.cells_per_dim = 4;
+  o.order = 3;
+  o.backend = be;
+  o.n_workers = 2;
+  return o;
+}
+
+double gauss3(double x, double y, double z, double n, double tx, double ty, double tz) {
+  return n / (std::pow(kPi, 1.5) * std::sqrt(tx * ty * tz)) *
+         std::exp(-x * x / tx - y * y / ty - z * z / tz);
+}
+
+} // namespace
+
+TEST(Space3D, QuadratureIntegratesVolume) {
+  Space3D space(2.0, 3, 2);
+  la::Vec one = space.interpolate([](double, double, double) { return 1.0; });
+  EXPECT_NEAR(space.moment(one.span(), [](double, double, double) { return 1.0; }), 64.0, 1e-10);
+}
+
+TEST(Space3D, ConformingDofCount) {
+  Space3D space(1.0, 3, 2);
+  // (3*2+1)^3 nodes.
+  EXPECT_EQ(space.n_dofs(), 343u);
+  EXPECT_EQ(space.n_cells(), 27u);
+}
+
+TEST(Space3D, EvalReproducesTriquadratic) {
+  Space3D space(2.0, 3, 2);
+  auto f = [](double x, double y, double z) { return x * x - y * z + 2.0 * z * z - 1.0; };
+  la::Vec dofs = space.interpolate(f);
+  std::vector<double> v(space.n_ips()), gx(space.n_ips()), gy(space.n_ips()), gz(space.n_ips());
+  std::vector<double> x(space.n_ips()), y(space.n_ips()), z(space.n_ips()), w(space.n_ips());
+  space.eval_at_ips(dofs.span(), v, gx, gy, gz);
+  space.ip_coordinates(x, y, z, w);
+  for (std::size_t ip = 0; ip < space.n_ips(); ip += 7) {
+    EXPECT_NEAR(v[ip], f(x[ip], y[ip], z[ip]), 1e-11);
+    EXPECT_NEAR(gx[ip], 2 * x[ip], 1e-10);
+    EXPECT_NEAR(gy[ip], -z[ip], 1e-10);
+    EXPECT_NEAR(gz[ip], -y[ip] + 4 * z[ip], 1e-10);
+  }
+}
+
+TEST(Space3D, MassMatrixIntegratesL2Norm) {
+  Space3D space(1.5, 2, 2);
+  la::CsrMatrix m(space.sparsity());
+  space.assemble_mass(m);
+  auto f = [](double x, double y, double z) { return 1.0 + x - 0.5 * y * z; };
+  la::Vec dofs = space.interpolate(f);
+  la::Vec mx(space.n_dofs());
+  m.mult(dofs, mx);
+  // \int f^2 over [-1.5,1.5]^3 (f is triquadratic -> quadrature exact).
+  double exact = 0;
+  const int nn = 60;
+  for (int i = 0; i < nn; ++i)
+    for (int jj = 0; jj < nn; ++jj)
+      for (int k = 0; k < nn; ++k) {
+        const double x = -1.5 + (i + 0.5) * 3.0 / nn;
+        const double y = -1.5 + (jj + 0.5) * 3.0 / nn;
+        const double z = -1.5 + (k + 0.5) * 3.0 / nn;
+        exact += f(x, y, z) * f(x, y, z) * std::pow(3.0 / nn, 3);
+      }
+  EXPECT_NEAR(dofs.dot(mx), exact, 2e-3 * exact);
+}
+
+TEST(Landau3D, MaxwellianMoments) {
+  Landau3DOperator op(electron_only(), small3d());
+  la::Vec f = op.maxwellian_state();
+  const auto m = op.moments(f, 0);
+  const double theta = op.species()[0].theta();
+  EXPECT_NEAR(m.density, 1.0, 3e-2);
+  EXPECT_NEAR(m.energy, 0.75 * theta, 3e-2 * 0.75 * theta + 2e-2);
+  EXPECT_NEAR(m.momentum[2], 0.0, 1e-10);
+}
+
+TEST(Landau3D, BackendsAgree) {
+  Landau3DOperator op_cpu(electron_only(), small3d(Backend::Cpu));
+  Landau3DOperator op_cuda(electron_only(), small3d(Backend::CudaSim));
+  la::Vec f = op_cpu.project([](int, double x, double y, double z) {
+    return gauss3(x, y, z, 1.0, 1.3, 1.7, 2.2);
+  });
+  op_cpu.pack(f);
+  op_cuda.pack(f);
+  la::CsrMatrix j1 = op_cpu.new_matrix();
+  la::CsrMatrix j2 = op_cuda.new_matrix();
+  op_cpu.add_collision(j1);
+  op_cuda.add_collision(j2);
+  double scale = 0;
+  for (std::size_t k = 0; k < j1.nnz(); ++k) scale = std::max(scale, std::abs(j1.values()[k]));
+  for (std::size_t k = 0; k < j1.nnz(); ++k)
+    EXPECT_NEAR(j2.values()[k], j1.values()[k], 1e-11 * scale);
+}
+
+TEST(Landau3D, MaxwellianNearEquilibrium) {
+  Landau3DOperator op(electron_only(), small3d());
+  la::Vec fm = op.maxwellian_state();
+  op.pack(fm);
+  la::CsrMatrix c = op.new_matrix();
+  op.add_collision(c);
+  la::Vec rm(op.n_total());
+  c.mult(fm, rm);
+
+  la::Vec g = op.project([](int, double x, double y, double z) {
+    return gauss3(x, y, z, 1.0, 1.0, 1.8, 2.6);
+  });
+  op.pack(g);
+  c.zero_entries();
+  op.add_collision(c);
+  la::Vec rg(op.n_total());
+  c.mult(g, rg);
+  EXPECT_LT(rm.norm2(), 0.05 * rg.norm2());
+}
+
+TEST(Landau3D, ExactConservationOfAllInvariants) {
+  // 3D carries three momentum components; all are conserved to solver
+  // tolerance along with density and energy.
+  Landau3DOperator op(electron_only(), small3d());
+  NewtonOptions tight;
+  tight.rtol = 1e-10;
+  ImplicitIntegrator integrator(op, tight);
+  la::Vec f = op.project([](int, double x, double y, double z) {
+    // Anisotropic and drifting in x and z.
+    return gauss3(x - 0.3, y, z + 0.4, 1.0, 1.2, 1.8, 2.4);
+  });
+  const auto m0 = op.moments(f, 0);
+  for (int s = 0; s < 2; ++s) integrator.step(f, 0.4);
+  const auto m1 = op.moments(f, 0);
+  EXPECT_NEAR(m1.density, m0.density, 1e-9);
+  for (int d = 0; d < 3; ++d)
+    EXPECT_NEAR(m1.momentum[d], m0.momentum[d], 1e-9 * std::max(1.0, std::abs(m0.momentum[d])))
+        << "component " << d;
+  EXPECT_NEAR(m1.energy, m0.energy, 1e-8 * m0.energy);
+}
+
+TEST(Landau3D, IsotropizationIn3D) {
+  Landau3DOperator op(electron_only(), small3d());
+  NewtonOptions loose;
+  loose.rtol = 1e-6;
+  ImplicitIntegrator integrator(op, loose);
+  la::Vec f = op.project([](int, double x, double y, double z) {
+    return gauss3(x, y, z, 1.0, 0.9, 1.6, 2.6);
+  });
+  auto temps = [&](const la::Vec& state) {
+    auto b = op.block(state, 0);
+    const double n = op.space().moment(b, [](double, double, double) { return 1.0; });
+    const double tx = op.space().moment(b, [](double x, double, double) { return x * x; }) / n;
+    const double tz = op.space().moment(b, [](double, double, double z) { return z * z; }) / n;
+    return tz / tx;
+  };
+  const double a0 = temps(f);
+  for (int s = 0; s < 3; ++s) integrator.step(f, 0.5);
+  const double a1 = temps(f);
+  EXPECT_GT(a0, 1.8);
+  EXPECT_LT(std::abs(a1 - 1.0), 0.9 * std::abs(a0 - 1.0));
+}
+
+TEST(Landau3D, TwoSpeciesMomentumExchange) {
+  SpeciesSet sp({{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 2.5},
+                 {.name = "i", .mass = 2.0, .charge = 1.0, .density = 1.0, .temperature = 2.5}});
+  auto opts = small3d();
+  Landau3DOperator op(sp, opts);
+  NewtonOptions loose;
+  loose.rtol = 1e-7;
+  ImplicitIntegrator integrator(op, loose);
+  const double drifts[2] = {0.5, 0.0};
+  la::Vec f = op.maxwellian_state(drifts);
+  const double pe0 = op.moments(f, 0).momentum[2];
+  const double pi0 = op.moments(f, 1).momentum[2];
+  integrator.step(f, 0.6);
+  const double pe1 = op.moments(f, 0).momentum[2];
+  const double pi1 = op.moments(f, 1).momentum[2];
+  EXPECT_LT(pe1, pe0);                                 // friction decelerates electrons
+  EXPECT_GT(pi1, pi0);                                 // ions pick the momentum up
+  EXPECT_NEAR(pe1 + pi1, pe0 + pi0, 1e-7 * std::abs(pe0)); // total conserved (Newton rtol)
+}
+
+TEST(Landau3D, AdvectionAcceleratesAlongZ) {
+  Landau3DOperator op(electron_only(), small3d());
+  la::Vec f = op.maxwellian_state();
+  op.pack(f);
+  la::CsrMatrix a = op.new_matrix();
+  op.add_advection(a, 0.2);
+  la::Vec af(op.n_total());
+  a.mult(f, af);
+  la::Vec zf = op.project([](int, double, double, double z) { return z; });
+  EXPECT_GT(std::abs(zf.dot(af)), 1e-8); // momentum moment responds to E
+  la::Vec one = op.project([](int, double, double, double) { return 1.0; });
+  EXPECT_LT(std::abs(one.dot(af)), 1e-8 * std::abs(zf.dot(af))); // density does not
+}

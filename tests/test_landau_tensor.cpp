@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/landau_tensor.h"
+#include "util/special_math.h"
+
+using namespace landau;
+
+namespace {
+
+struct PointPair {
+  double r, z, rp, zp;
+};
+
+const PointPair kPairs[] = {
+    {1.0, 0.5, 0.7, -0.3}, {0.2, 2.0, 1.5, 1.9},  {3.0, -1.0, 0.1, 0.0},
+    {0.5, 0.0, 0.5, 1.0},  {2.0, 2.0, 2.0, -2.0}, {1e-3, 0.4, 1.2, 0.1},
+    {1.2, 0.1, 1e-3, 0.4}, {0.9, 0.9, 1.1, 1.1},  {4.5, -3.0, 4.4, -3.1},
+};
+
+} // namespace
+
+class TensorPairSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TensorPairSweep, ClosedFormMatchesAzimuthalQuadrature) {
+  const auto& p = kPairs[GetParam()];
+  Tensor2 uk, ud, uk_q, ud_q;
+  landau_tensor_2d(p.r, p.z, p.rp, p.zp, &uk, &ud);
+  landau_tensor_2d_quadrature(p.r, p.z, p.rp, p.zp, &uk_q, &ud_q, 200000);
+  double scale = 0.0;
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j)
+      scale = std::max({scale, std::abs(ud_q.m[i][j]), std::abs(uk_q.m[i][j])});
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_NEAR(ud.m[i][j], ud_q.m[i][j], 1e-6 * scale) << "UD[" << i << "][" << j << "]";
+      EXPECT_NEAR(uk.m[i][j], uk_q.m[i][j], 1e-6 * scale) << "UK[" << i << "][" << j << "]";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, TensorPairSweep, ::testing::Range(0, 9));
+
+TEST(LandauTensor, UDIsSymmetric) {
+  for (const auto& p : kPairs) {
+    Tensor2 uk, ud;
+    landau_tensor_2d(p.r, p.z, p.rp, p.zp, &uk, &ud);
+    EXPECT_DOUBLE_EQ(ud.m[0][1], ud.m[1][0]);
+  }
+}
+
+TEST(LandauTensor, UDIsPositiveSemidefinite) {
+  // The 3D tensor is PSD (scaled projection); its azimuthal average
+  // restricted to the (r,z) block stays PSD.
+  for (const auto& p : kPairs) {
+    Tensor2 uk, ud;
+    landau_tensor_2d(p.r, p.z, p.rp, p.zp, &uk, &ud);
+    const double tr = ud.m[0][0] + ud.m[1][1];
+    const double det = ud.m[0][0] * ud.m[1][1] - ud.m[0][1] * ud.m[1][0];
+    EXPECT_GE(tr, -1e-12);
+    EXPECT_GE(det, -1e-10 * tr * tr);
+  }
+}
+
+TEST(LandauTensor, TranslationInvarianceInZ) {
+  Tensor2 uk1, ud1, uk2, ud2;
+  landau_tensor_2d(1.1, 0.3, 0.6, -0.2, &uk1, &ud1);
+  landau_tensor_2d(1.1, 5.3, 0.6, 4.8, &uk2, &ud2);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_NEAR(uk1.m[i][j], uk2.m[i][j], 1e-13);
+      EXPECT_NEAR(ud1.m[i][j], ud2.m[i][j], 1e-13);
+    }
+}
+
+TEST(LandauTensor, DiagonalIsRegularizedToZero) {
+  Tensor2 uk, ud;
+  landau_tensor_2d(0.8, 0.2, 0.8, 0.2, &uk, &ud);
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_EQ(uk.m[i][j], 0.0);
+      EXPECT_EQ(ud.m[i][j], 0.0);
+    }
+}
+
+TEST(LandauTensor, MomentumConservationIdentity) {
+  // zhat . U^K(i,j) == zhat . U^D(j,i): the identity that makes the discrete
+  // z-momentum exchange antisymmetric (hence conserved to roundoff).
+  for (const auto& p : kPairs) {
+    Tensor2 uk_ij, ud_ij, uk_ji, ud_ji;
+    landau_tensor_2d(p.r, p.z, p.rp, p.zp, &uk_ij, &ud_ij);
+    landau_tensor_2d(p.rp, p.zp, p.r, p.z, &uk_ji, &ud_ji);
+    const double scale = std::abs(ud_ji.m[1][1]) + std::abs(ud_ji.m[1][0]) + 1e-30;
+    EXPECT_NEAR(uk_ij.m[1][0], ud_ji.m[1][0], 1e-12 * scale);
+    EXPECT_NEAR(uk_ij.m[1][1], ud_ji.m[1][1], 1e-12 * scale);
+  }
+}
+
+TEST(LandauTensor, EnergyConservationIdentity) {
+  // v_i . U^K(i,j) == v_j . U^D(j,i) (both columns): the identity behind
+  // exact discrete energy conservation.
+  for (const auto& p : kPairs) {
+    Tensor2 uk_ij, ud_ij, uk_ji, ud_ji;
+    landau_tensor_2d(p.r, p.z, p.rp, p.zp, &uk_ij, &ud_ij);
+    landau_tensor_2d(p.rp, p.zp, p.r, p.z, &uk_ji, &ud_ji);
+    for (int col = 0; col < 2; ++col) {
+      const double lhs = p.r * uk_ij.m[0][col] + p.z * uk_ij.m[1][col];
+      const double rhs = p.rp * ud_ji.m[0][col] + p.zp * ud_ji.m[1][col];
+      const double scale = std::abs(lhs) + std::abs(rhs) + 1e-30;
+      EXPECT_NEAR(lhs, rhs, 1e-11 * scale) << "col " << col;
+    }
+  }
+}
+
+TEST(LandauTensor3D, ProjectionAnnihilatesRelativeVelocity) {
+  const std::array<double, 3> v{1.0, -0.5, 2.0}, vb{0.3, 0.8, -1.0};
+  const auto u = landau_tensor_3d(v, vb);
+  for (int i = 0; i < 3; ++i) {
+    double s = 0;
+    for (int j = 0; j < 3; ++j)
+      s += u[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] * (v[static_cast<std::size_t>(j)] - vb[static_cast<std::size_t>(j)]);
+    EXPECT_NEAR(s, 0.0, 1e-14);
+  }
+}
+
+TEST(LandauTensor3D, SymmetricAndScalesInverseCube) {
+  const std::array<double, 3> v{1.0, 0.0, 0.0}, vb{0.0, 0.0, 0.0};
+  auto u1 = landau_tensor_3d(v, vb);
+  auto u2 = landau_tensor_3d({2, 0, 0}, vb);
+  EXPECT_NEAR(u1[1][1], 1.0, 1e-15);              // (|u|^2 - 0)/|u|^3 with |u|=1
+  EXPECT_NEAR(u2[1][1], 1.0 / 2.0, 1e-15);        // 1/|u| scaling of transverse part
+  EXPECT_DOUBLE_EQ(u1[0][1], u1[1][0]);
+}
+
+TEST(LandauTensor, AccurateOnBothSidesOfSeriesSwitchover) {
+  // The closed elliptic forms hand over to small-s series at s = 1e-3; both
+  // branches must match direct azimuthal quadrature near the switchover.
+  const double z = 0.3, zp = -0.4, rp = 1.0;
+  const double dz2 = (z - zp) * (z - zp);
+  auto r_for_s = [&](double s) {
+    double r = s; // fixed point of r = s (r^2 + rp^2 + dz^2) / (2 rp)
+    for (int it = 0; it < 100; ++it) r = s * (r * r + rp * rp + dz2) / (2.0 * rp);
+    return r;
+  };
+  for (double s : {2e-4, 0.9e-3, 1.1e-3, 5e-3}) {
+    const double r = r_for_s(s);
+    Tensor2 uk, ud, uk_q, ud_q;
+    landau_tensor_2d(r, z, rp, zp, &uk, &ud);
+    landau_tensor_2d_quadrature(r, z, rp, zp, &uk_q, &ud_q, 400000);
+    double scale = 0.0;
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j)
+        scale = std::max({scale, std::abs(ud_q.m[i][j]), std::abs(uk_q.m[i][j])});
+    for (int i = 0; i < 2; ++i)
+      for (int j = 0; j < 2; ++j) {
+        EXPECT_NEAR(uk.m[i][j], uk_q.m[i][j], 1e-6 * scale) << "s=" << s;
+        EXPECT_NEAR(ud.m[i][j], ud_q.m[i][j], 1e-6 * scale) << "s=" << s;
+      }
+  }
+}

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/options.h"
+
+using landau::Options;
+
+TEST(Options, ParsesKeyValuePairs) {
+  const char* argv[] = {"prog", "-n", "42", "-dt", "0.5", "-name", "quench"};
+  Options o;
+  o.parse(7, argv);
+  EXPECT_EQ(o.get<int>("n", 0), 42);
+  EXPECT_DOUBLE_EQ(o.get<double>("dt", 1.0), 0.5);
+  EXPECT_EQ(o.get<std::string>("name", ""), "quench");
+}
+
+TEST(Options, DefaultsApplyWhenAbsent) {
+  Options o;
+  EXPECT_EQ(o.get<int>("missing", 7), 7);
+  EXPECT_FALSE(o.has("missing"));
+}
+
+TEST(Options, BareFlagsAreTrueBooleans) {
+  const char* argv[] = {"prog", "-verbose", "-n", "3"};
+  Options o;
+  o.parse(4, argv);
+  EXPECT_TRUE(o.get<bool>("verbose", false));
+  EXPECT_EQ(o.get<int>("n", 0), 3);
+}
+
+TEST(Options, NegativeNumbersAreValuesNotFlags) {
+  const char* argv[] = {"prog", "-z0", "-5.5", "-k", "-3"};
+  Options o;
+  o.parse(5, argv);
+  EXPECT_DOUBLE_EQ(o.get<double>("z0", 0.0), -5.5);
+  EXPECT_EQ(o.get<int>("k", 0), -3);
+}
+
+TEST(Options, HelpFlagDetected) {
+  const char* argv[] = {"prog", "-help"};
+  Options o;
+  o.parse(2, argv);
+  EXPECT_TRUE(o.help_requested());
+}
+
+TEST(Options, ListOptionParsesCommaSeparated) {
+  const char* argv[] = {"prog", "-masses", "1,2,183.84"};
+  Options o;
+  o.parse(3, argv);
+  auto v = o.get_list<double>("masses", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[2], 183.84);
+}
+
+TEST(Options, RequireThrowsWhenMissing) {
+  Options o;
+  EXPECT_THROW(o.require<int>("absolutely_required"), landau::Error);
+}
+
+TEST(Options, BadValueThrows) {
+  Options o;
+  o.set("n", "not_a_number");
+  EXPECT_THROW(o.get<int>("n", 0), landau::Error);
+}
+
+TEST(Options, PositionalArgumentThrows) {
+  const char* argv[] = {"prog", "stray"};
+  Options o;
+  EXPECT_THROW(o.parse(2, argv), landau::Error);
+}
+
+TEST(Options, HelpTextListsDocumentedOptions) {
+  Options o;
+  o.get<int>("nsteps", 100, "number of steps");
+  const auto text = o.help_text();
+  EXPECT_NE(text.find("nsteps"), std::string::npos);
+  EXPECT_NE(text.find("number of steps"), std::string::npos);
+}
+
+TEST(Options, ProgrammaticSetOverridesDefault) {
+  Options o;
+  o.set("order", 3);
+  EXPECT_EQ(o.get<int>("order", 1), 3);
+}

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/quadrature.h"
+
+using namespace landau::fem;
+
+class GaussSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GaussSweep, WeightsSumToTwo) {
+  const auto q = gauss_legendre(GetParam());
+  double s = 0;
+  for (double w : q.weights) s += w;
+  EXPECT_NEAR(s, 2.0, 1e-14);
+}
+
+TEST_P(GaussSweep, ExactForPolynomialsUpToDegree2nMinus1) {
+  const int n = GetParam();
+  const auto q = gauss_legendre(n);
+  for (int deg = 0; deg <= 2 * n - 1; ++deg) {
+    double integral = 0;
+    for (int i = 0; i < n; ++i)
+      integral += q.weights[static_cast<std::size_t>(i)] *
+                  std::pow(q.points[static_cast<std::size_t>(i)], deg);
+    const double exact = (deg % 2 == 0) ? 2.0 / (deg + 1) : 0.0;
+    EXPECT_NEAR(integral, exact, 1e-13) << "n=" << n << " deg=" << deg;
+  }
+}
+
+TEST_P(GaussSweep, PointsSortedAndInterior) {
+  const auto q = gauss_legendre(GetParam());
+  for (std::size_t i = 0; i < q.points.size(); ++i) {
+    EXPECT_GT(q.points[i], -1.0);
+    EXPECT_LT(q.points[i], 1.0);
+    if (i > 0) {
+      EXPECT_GT(q.points[i], q.points[i - 1]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, GaussSweep, ::testing::Values(1, 2, 3, 4, 5, 8, 12, 16));
+
+TEST(TensorQuadrature, IntegratesSeparableExactly) {
+  const auto q = tensor_quadrature(4);
+  ASSERT_EQ(q.nq(), 16);
+  // \int x^3 y^5 over the reference square = 0; \int x^2 y^4 = (2/3)(2/5).
+  double i35 = 0, i24 = 0, area = 0;
+  for (int k = 0; k < q.nq(); ++k) {
+    const std::size_t i = static_cast<std::size_t>(k);
+    i35 += q.w[i] * std::pow(q.x[i], 3) * std::pow(q.y[i], 5);
+    i24 += q.w[i] * q.x[i] * q.x[i] * std::pow(q.y[i], 4);
+    area += q.w[i];
+  }
+  EXPECT_NEAR(i35, 0.0, 1e-14);
+  EXPECT_NEAR(i24, (2.0 / 3.0) * (2.0 / 5.0), 1e-14);
+  EXPECT_NEAR(area, 4.0, 1e-13);
+}
+
+TEST(TensorQuadrature, Q3ElementHas16Points) {
+  // The paper's Q3 elements use Nq = 16 integration points.
+  EXPECT_EQ(tensor_quadrature(4).nq(), 16);
+}

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/fespace.h"
+#include "mesh/refine.h"
+#include "util/special_math.h"
+
+using namespace landau;
+using namespace landau::mesh;
+
+TEST(Refine, SingleSpeciesGridMatchesPaperScale) {
+  // One Maxwellian at the electron thermal speed on a 5 v_th domain: the
+  // paper's Fig. 3 configuration produces ~20 cells.
+  VelocityMeshSpec spec;
+  spec.radius = 5.0;
+  spec.base_levels = 1;
+  spec.thermal_speeds = {std::sqrt(kPi) / 2.0}; // ~0.886
+  spec.cells_per_thermal = 0.5;                 // coarse single-species target
+  auto forest = build_velocity_mesh(spec);
+  EXPECT_GE(forest.n_leaves(), 14u);
+  EXPECT_LE(forest.n_leaves(), 40u);
+}
+
+TEST(Refine, DisparateThermalSpeedsRefineDeeper) {
+  VelocityMeshSpec one;
+  one.radius = 5.0;
+  one.thermal_speeds = {0.886};
+  one.cells_per_thermal = 1.0;
+  VelocityMeshSpec two = one;
+  two.thermal_speeds = {0.886, 0.886 / 40.0}; // electron + heavy ion
+  auto f1 = build_velocity_mesh(one);
+  auto f2 = build_velocity_mesh(two);
+  EXPECT_GT(f2.n_leaves(), f1.n_leaves());
+  EXPECT_GT(f2.max_level(), f1.max_level());
+}
+
+TEST(Refine, SmallestCellsResolveSmallestSpecies) {
+  VelocityMeshSpec spec;
+  spec.radius = 5.0;
+  spec.thermal_speeds = {0.886, 0.05};
+  spec.cells_per_thermal = 1.0;
+  auto forest = build_velocity_mesh(spec);
+  double hmin = 1e30;
+  for (const auto& lf : forest.leaves()) hmin = std::min(hmin, lf.box.dx());
+  EXPECT_LE(hmin, 0.05 + 1e-12);
+}
+
+TEST(Refine, MeshIsBalancedAndUsableForFem) {
+  VelocityMeshSpec spec;
+  spec.radius = 4.0;
+  spec.thermal_speeds = {0.886, 0.1};
+  spec.cells_per_thermal = 0.8;
+  auto forest = build_velocity_mesh(spec);
+  // Building the FE space exercises the 2:1 invariants (it throws on
+  // unbalanced meshes) and the constraint machinery.
+  fem::FESpace fes(forest, 3);
+  EXPECT_GT(fes.n_dofs(), 0u);
+  // The integral of 1 over the domain must be the exact cylindrical volume.
+  la::Vec one = fes.interpolate([](double, double) { return 1.0; });
+  EXPECT_NEAR(fes.moment(one.span(), [](double, double) { return 1.0; }),
+              2 * kPi * (16.0 / 2) * 8.0, 1e-8);
+}
+
+TEST(Refine, MaxLevelsCapRespected) {
+  VelocityMeshSpec spec;
+  spec.radius = 5.0;
+  spec.thermal_speeds = {1e-4}; // would need ~16 levels
+  spec.max_levels = 6;
+  auto forest = build_velocity_mesh(spec);
+  EXPECT_LE(forest.max_level(), 6);
+}

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "exec/schedule_sim.h"
+
+using namespace landau::exec;
+
+namespace {
+
+MachineModel summit_like() {
+  MachineModel m;
+  m.name = "summit";
+  m.n_gpus = 6;
+  m.cores = 7;
+  m.hw_threads_per_core = 4;
+  m.gpu.n_sms = 80;
+  m.gpu.max_resident = 48;
+  m.gpu.oversub_penalty = 0.15;
+  m.gpu.launch_overhead = 20e-6;
+  return m;
+}
+
+ProcessWork typical_work(int iters = 50) {
+  ProcessWork w;
+  // Per Newton iteration: CPU metadata+factor+solve then the GPU kernel.
+  w.iteration = {{ResourceKind::Core, 4e-3, 1}, {ResourceKind::Gpu, 1e-3, 80}};
+  w.n_iterations = iters;
+  return w;
+}
+
+} // namespace
+
+TEST(ScheduleSim, SingleProcessBaseline) {
+  auto m = summit_like();
+  auto w = typical_work(10);
+  auto r = simulate_throughput(m, w, 1, 1);
+  // 6 processes (one per GPU), each iteration ~5 ms => ~1200 iters/s total.
+  EXPECT_NEAR(r.iterations_per_second, 6.0 / 5.02e-3, 30.0);
+}
+
+TEST(ScheduleSim, ThroughputScalesWithCores) {
+  auto m = summit_like();
+  auto w = typical_work(20);
+  const double t1 = simulate_throughput(m, w, 1, 1).iterations_per_second;
+  const double t7 = simulate_throughput(m, w, 7, 1).iterations_per_second;
+  // CPU-dominated workload: near-linear scaling with cores (paper Table II).
+  EXPECT_GT(t7, 5.5 * t1);
+  EXPECT_LT(t7, 7.5 * t1);
+}
+
+TEST(ScheduleSim, SecondHardwareThreadGivesModestGain) {
+  auto m = summit_like();
+  auto w = typical_work(20);
+  const double p1 = simulate_throughput(m, w, 7, 1).iterations_per_second;
+  const double p2 = simulate_throughput(m, w, 7, 2).iterations_per_second;
+  const double p3 = simulate_throughput(m, w, 7, 3).iterations_per_second;
+  EXPECT_GT(p2, 1.05 * p1); // consistent gain
+  EXPECT_LT(p2, 1.45 * p1); // but modest (SMT curve)
+  EXPECT_GE(p3, 0.95 * p2); // third thread roughly flat or slightly up
+}
+
+TEST(ScheduleSim, OversubscribedGpuRollsOver) {
+  // Model a Spock-like GPU whose scheduler degrades with many resident
+  // kernels: throughput must roll over, as in paper Table V at 16 procs/GPU.
+  MachineModel m = summit_like();
+  m.n_gpus = 4;
+  m.cores = 8;
+  m.gpu.max_resident = 8;
+  m.gpu.oversub_penalty = 1.0;
+  ProcessWork w;
+  w.iteration = {{ResourceKind::Core, 1e-3, 1}, {ResourceKind::Gpu, 4e-3, 120}};
+  w.n_iterations = 20;
+  const double t8x1 = simulate_throughput(m, w, 8, 1).iterations_per_second;
+  const double t8x2 = simulate_throughput(m, w, 8, 2).iterations_per_second;
+  EXPECT_LT(t8x2, t8x1);
+}
+
+TEST(ScheduleSim, GpuBoundWorkSaturatesEarly) {
+  auto m = summit_like();
+  ProcessWork w;
+  // One kernel already fills the resident-block capacity (80 SMs x 8).
+  w.iteration = {{ResourceKind::Core, 1e-4, 1}, {ResourceKind::Gpu, 5e-3, 640}};
+  w.n_iterations = 20;
+  const double t1 = simulate_throughput(m, w, 1, 1).iterations_per_second;
+  const double t7 = simulate_throughput(m, w, 7, 1).iterations_per_second;
+  // One kernel already fills the GPU: scaling must be far from linear.
+  EXPECT_LT(t7, 3.0 * t1);
+}
+
+TEST(ScheduleSim, BandwidthSharingSlowsManyProcesses) {
+  MachineModel m = summit_like();
+  m.n_gpus = 1;
+  m.cores = 4;
+  m.membw_capacity = 2.0;
+  ProcessWork w;
+  w.iteration = {{ResourceKind::Bandwidth, 1e-3, 1}};
+  w.n_iterations = 10;
+  const double t1 = simulate_throughput(m, w, 1, 1).makespan;
+  const double t4 = simulate_throughput(m, w, 4, 1).makespan;
+  // 4 processes on capacity 2 take ~2x longer per process.
+  EXPECT_NEAR(t4 / t1, 2.0, 0.2);
+}
+
+TEST(ScheduleSim, MakespanAccountsAllIterations) {
+  auto m = summit_like();
+  m.n_gpus = 1;
+  auto w = typical_work(5);
+  auto r = simulate_throughput(m, w, 2, 2);
+  // 4 processes x 5 iterations in total.
+  EXPECT_NEAR(r.iterations_per_second * r.makespan, 20.0, 1e-6);
+}
+
+TEST(ScheduleSim, GpuUtilizationReported) {
+  auto m = summit_like();
+  m.n_gpus = 1;
+  ProcessWork w;
+  w.iteration = {{ResourceKind::Gpu, 1e-3, 80}};
+  w.n_iterations = 10;
+  auto r = simulate_throughput(m, w, 1, 1);
+  EXPECT_GT(r.gpu_busy_fraction, 0.99);
+}

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/species.h"
+
+using namespace landau;
+
+TEST(Species, ElectronThetaIsPiOverFour) {
+  Species e{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0};
+  EXPECT_NEAR(e.theta(), kPi / 4.0, 1e-15);
+  EXPECT_NEAR(e.thermal_speed(), std::sqrt(kPi) / 2.0, 1e-15);
+}
+
+TEST(Species, ThermalSpeedScalesWithMassAndTemperature) {
+  Species a{.name = "a", .mass = 4.0, .charge = 1.0, .density = 1.0, .temperature = 1.0};
+  Species b{.name = "b", .mass = 1.0, .charge = 1.0, .density = 1.0, .temperature = 4.0};
+  EXPECT_NEAR(a.thermal_speed(), 0.5 * std::sqrt(kPi) / 2.0, 1e-14);
+  EXPECT_NEAR(b.thermal_speed(), 2.0 * std::sqrt(kPi) / 2.0, 1e-14);
+}
+
+TEST(SpeciesSet, CollisionPrefactorIsChargeSquaredProduct) {
+  auto set = SpeciesSet::electron_ion(4.0);
+  EXPECT_DOUBLE_EQ(set.nu(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(set.nu(0, 1), 16.0);
+  EXPECT_DOUBLE_EQ(set.nu(1, 1), 256.0);
+}
+
+TEST(SpeciesSet, ElectronIonIsQuasiNeutral) {
+  for (double z : {1.0, 2.0, 8.0, 64.0}) {
+    auto set = SpeciesSet::electron_ion(z);
+    double charge = 0.0;
+    for (const auto& sp : set) charge += sp.density * sp.charge;
+    EXPECT_NEAR(charge, 0.0, 1e-14);
+    EXPECT_NEAR(set.z_eff(), z, 1e-12);
+  }
+}
+
+TEST(SpeciesSet, TungstenPlasmaHasTenSpeciesAndNeutrality) {
+  auto set = SpeciesSet::tungsten_plasma();
+  EXPECT_EQ(set.size(), 10);
+  double charge = 0.0;
+  for (const auto& sp : set) charge += sp.density * sp.charge;
+  EXPECT_NEAR(charge, 0.0, 1e-12);
+  // Thermal velocities are well separated: electron >> D >> W.
+  EXPECT_GT(set[0].thermal_speed(), 20 * set[1].thermal_speed());
+  EXPECT_GT(set[1].thermal_speed(), 5 * set[2].thermal_speed());
+}
+
+TEST(SpeciesSet, ZEffOfDeuteriumPlasmaIsOne) {
+  EXPECT_NEAR(SpeciesSet::electron_deuterium().z_eff(), 1.0, 1e-14);
+}

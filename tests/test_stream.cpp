@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "exec/stream.h"
+
+using namespace landau::exec;
+
+TEST(Stream, PreservesFifoOrderWithinAStream) {
+  ThreadPool pool(2);
+  Stream stream(pool);
+  std::vector<int> order;
+  std::mutex m;
+  for (int i = 0; i < 50; ++i)
+    stream.enqueue([&, i] {
+      std::lock_guard<std::mutex> lock(m);
+      order.push_back(i);
+    });
+  stream.synchronize();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Stream, MultipleStreamsAllComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    Stream a(pool), b(pool), c(pool);
+    for (int i = 0; i < 30; ++i) {
+      a.enqueue([&] { count.fetch_add(1); });
+      b.enqueue([&] { count.fetch_add(1); });
+      c.enqueue([&] { count.fetch_add(1); });
+    }
+    a.synchronize();
+    b.synchronize();
+    c.synchronize();
+  }
+  EXPECT_EQ(count.load(), 90);
+}
+
+TEST(Stream, SynchronizeOnEmptyStreamReturnsImmediately) {
+  ThreadPool pool(1);
+  Stream stream(pool);
+  stream.synchronize();
+  EXPECT_EQ(stream.pending(), 0u);
+}
+
+TEST(Stream, DestructorDrainsPendingWork) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  {
+    Stream stream(pool);
+    for (int i = 0; i < 20; ++i)
+      stream.enqueue([&] { count.fetch_add(1); });
+    // No explicit synchronize: the destructor must wait.
+  }
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(Stream, TasksChainAcrossSynchronize) {
+  ThreadPool pool(1);
+  Stream stream(pool);
+  std::atomic<int> count{0};
+  stream.enqueue([&] { count.fetch_add(1); });
+  stream.synchronize();
+  stream.enqueue([&] { count.fetch_add(1); });
+  stream.synchronize();
+  EXPECT_EQ(count.load(), 2);
+}

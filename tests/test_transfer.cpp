@@ -1,0 +1,170 @@
+// Field transfer, L2 projection and theta-scheme accuracy — the regridding
+// and time-accuracy features layered on the core solver.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/operator.h"
+#include "fem/transfer.h"
+#include "mesh/refine.h"
+#include "solver/implicit.h"
+#include "util/special_math.h"
+
+using namespace landau;
+using mesh::Box;
+using mesh::Forest;
+
+namespace {
+
+Forest base_mesh() {
+  Forest f(Box{0, -3, 3, 3}, 1, 2);
+  f.refine_uniform(2);
+  return f;
+}
+
+} // namespace
+
+TEST(Transfer, EvalPointMatchesInterpolatedFunction) {
+  auto forest = base_mesh();
+  fem::FESpace fes(forest, 3);
+  auto fn = [](double r, double z) { return r * r - 0.3 * z + 1.0; };
+  la::Vec dofs = fes.interpolate(fn);
+  for (auto [r, z] : {std::pair{0.3, 0.7}, {1.9, -2.2}, {2.99, 2.99}, {0.0, 0.0}})
+    EXPECT_NEAR(fem::eval_point(fes, dofs.span(), r, z), fn(r, z), 1e-10);
+  EXPECT_EQ(fem::eval_point(fes, dofs.span(), 5.0, 0.0), 0.0); // outside
+}
+
+TEST(Transfer, RefinementIsExactForNestedSpaces) {
+  auto coarse = base_mesh();
+  fem::FESpace from(coarse, 3);
+  la::Vec dofs = from.interpolate(
+      [](double r, double z) { return maxwellian_rz(r, z, 1.0, 1.0); });
+
+  Forest fine_forest = base_mesh();
+  fine_forest.refine_uniform(1);
+  fem::FESpace to(fine_forest, 3);
+  la::Vec moved = fem::transfer(from, dofs.span(), to);
+  // Transfer of an FE function to a nested refinement reproduces it exactly:
+  // compare point values everywhere.
+  for (auto [r, z] : {std::pair{0.11, 0.53}, {1.3, -1.7}, {2.5, 2.1}})
+    EXPECT_NEAR(fem::eval_point(to, moved.span(), r, z),
+                fem::eval_point(from, dofs.span(), r, z), 1e-11);
+  // Moments preserved to interpolation accuracy.
+  const double n0 = from.moment(dofs.span(), [](double, double) { return 1.0; });
+  const double n1 = to.moment(moved.span(), [](double, double) { return 1.0; });
+  EXPECT_NEAR(n1, n0, 1e-10 * std::abs(n0));
+}
+
+TEST(Transfer, GradientIndicatorTargetsSteepRegions) {
+  auto forest = base_mesh();
+  fem::FESpace fes(forest, 3);
+  // Narrow bump near the origin.
+  la::Vec dofs = fes.interpolate(
+      [](double r, double z) { return std::exp(-(r * r + z * z) / 0.2); });
+  auto indicator = fem::gradient_indicator(fes, dofs.span(), 0.05, 6);
+  // Cells near the bump must be flagged; far cells must not.
+  int near_flagged = 0, far_flagged = 0;
+  for (const auto& lf : forest.leaves()) {
+    const bool flagged = indicator(lf.box, lf.level);
+    const double d = std::hypot(lf.box.cx(), lf.box.cy());
+    if (d < 0.8 && flagged) ++near_flagged;
+    if (d > 2.0 && flagged) ++far_flagged;
+  }
+  EXPECT_GT(near_flagged, 0);
+  EXPECT_EQ(far_flagged, 0);
+}
+
+TEST(Transfer, RegridCyclePreservesSolution) {
+  // The full regrid loop: evolve-ish state -> indicator -> refined mesh ->
+  // transfer -> moments preserved.
+  auto forest = base_mesh();
+  fem::FESpace from(forest, 3);
+  la::Vec dofs = from.interpolate([](double r, double z) {
+    return maxwellian_rz(r, z, 1.0, 0.6) + maxwellian_rz(r, z, 0.2, 0.2, 1.5);
+  });
+  auto indicator = fem::gradient_indicator(from, dofs.span(), 0.02, 5);
+  Forest refined = base_mesh();
+  while (refined.refine_where(indicator) > 0) {
+  }
+  refined.balance();
+  ASSERT_GT(refined.n_leaves(), forest.n_leaves());
+  fem::FESpace to(refined, 3);
+  la::Vec moved = fem::transfer(from, dofs.span(), to);
+  for (auto g : {+0, +1}) {
+    auto weight = [g](double r, double z) { return g == 0 ? 1.0 : r * r + z * z; };
+    EXPECT_NEAR(to.moment(moved.span(), weight), from.moment(dofs.span(), weight),
+                1e-9 * std::abs(from.moment(dofs.span(), weight)));
+  }
+}
+
+TEST(Projection, L2ProjectionPreservesMomentsBetterThanInterpolation) {
+  // On a coarse mesh the nodal interpolant of a narrow Maxwellian loses
+  // density; the L2 projection preserves it to quadrature accuracy.
+  Forest forest(Box{0, -3, 3, 3}, 1, 2);
+  forest.refine_uniform(1); // very coarse: h = 1.5
+  fem::FESpace fes(forest, 3);
+  auto fn = [](double r, double z) { return maxwellian_rz(r, z, 1.0, 0.8); };
+  la::Vec interp = fes.interpolate(fn);
+  la::Vec proj = fes.project_l2(fn);
+  // Reference density via direct quadrature of the analytic function.
+  double n_exact = 0.0;
+  {
+    std::vector<double> r(fes.n_ips()), z(fes.n_ips()), w(fes.n_ips());
+    fes.ip_coordinates(r, z, w);
+    for (std::size_t ip = 0; ip < fes.n_ips(); ++ip)
+      n_exact += 2 * kPi * r[ip] * w[ip] * fn(r[ip], z[ip]);
+  }
+  const double err_interp =
+      std::abs(fes.moment(interp.span(), [](double, double) { return 1.0; }) - n_exact);
+  const double err_proj =
+      std::abs(fes.moment(proj.span(), [](double, double) { return 1.0; }) - n_exact);
+  EXPECT_LT(err_proj, 1e-9);
+  EXPECT_LT(err_proj, 0.1 * err_interp + 1e-12);
+}
+
+TEST(ThetaScheme, TrapezoidalIsSecondOrderInTime) {
+  // Compare one-step errors against a fine-dt reference for an anisotropic
+  // relaxation: halving dt must cut the theta=1/2 error ~4x but the
+  // backward-Euler error only ~2x.
+  SpeciesSet electron(
+      {{.name = "e", .mass = 1.0, .charge = -1.0, .density = 1.0, .temperature = 1.0}});
+  LandauOptions lopts;
+  lopts.order = 2;
+  lopts.radius = 4.0;
+  lopts.cells_per_thermal = 0.6;
+  lopts.max_levels = 2;
+  lopts.n_workers = 2;
+  LandauOperator op(electron, lopts);
+  la::Vec f0 = op.project([](int, double r, double z) {
+    return 1.0 / (std::pow(kPi, 1.5) * 0.5 * std::sqrt(1.2)) *
+           std::exp(-r * r / 0.5 - z * z / 1.2);
+  });
+
+  auto advance = [&](double theta, double dt, int steps) {
+    NewtonOptions nopts;
+    nopts.rtol = 1e-11;
+    nopts.theta = theta;
+    ImplicitIntegrator integ(op, nopts);
+    la::Vec f = f0;
+    for (int s = 0; s < steps; ++s) integ.step(f, dt);
+    return f;
+  };
+
+  const double T = 0.8;
+  la::Vec ref = advance(0.5, T / 16, 16);
+  auto err = [&](const la::Vec& f) {
+    la::Vec d = f;
+    d.axpy(-1.0, ref);
+    return d.norm2();
+  };
+  const double be_1 = err(advance(1.0, T / 2, 2));
+  const double be_2 = err(advance(1.0, T / 4, 4));
+  const double cn_1 = err(advance(0.5, T / 2, 2));
+  const double cn_2 = err(advance(0.5, T / 4, 4));
+
+  EXPECT_LT(cn_1, be_1);                  // trapezoidal more accurate outright
+  EXPECT_GT(be_1 / be_2, 1.5);            // ~first order
+  EXPECT_LT(be_1 / be_2, 3.0);
+  EXPECT_GT(cn_1 / cn_2, 3.0);            // ~second order
+}

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "la/dense.h"
+#include "la/vec.h"
+
+using landau::la::DenseLU;
+using landau::la::DenseMatrix;
+using landau::la::Vec;
+
+TEST(Vec, Blas1Operations) {
+  Vec x(4), y(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    x[i] = static_cast<double>(i + 1);
+    y[i] = 1.0;
+  }
+  y.axpy(2.0, x); // y = 1 + 2x
+  EXPECT_DOUBLE_EQ(y[3], 9.0);
+  EXPECT_DOUBLE_EQ(x.dot(x), 1 + 4 + 9 + 16);
+  EXPECT_DOUBLE_EQ(x.norm_inf(), 4.0);
+  EXPECT_DOUBLE_EQ(x.sum(), 10.0);
+  y.axpby(1.0, x, -1.0); // y = x - y
+  EXPECT_DOUBLE_EQ(y[0], 1.0 - 3.0);
+}
+
+TEST(Vec, SizeMismatchThrows) {
+  Vec x(3), y(4);
+  EXPECT_THROW(y.axpy(1.0, x), landau::Error);
+  EXPECT_THROW(y.dot(x), landau::Error);
+}
+
+TEST(Dense, MatVec) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 2) = 2;
+  a(1, 1) = -1;
+  Vec x(3);
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  Vec y(2);
+  a.mult(x, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  Vec yt(3);
+  a.mult_transpose(y, yt);
+  EXPECT_DOUBLE_EQ(yt[0], 7.0);
+  EXPECT_DOUBLE_EQ(yt[1], 2.0);
+  EXPECT_DOUBLE_EQ(yt[2], 14.0);
+}
+
+class DenseLUSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseLUSweep, SolvesRandomSystemsToMachinePrecision) {
+  const int n = GetParam();
+  std::mt19937 rng(42 + static_cast<unsigned>(n));
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  DenseMatrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    for (int j = 0; j < n; ++j) a(static_cast<std::size_t>(i), static_cast<std::size_t>(j)) = dist(rng);
+  // Diagonal boost for conditioning.
+  for (int i = 0; i < n; ++i) a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) += n;
+  Vec xref(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) xref[static_cast<std::size_t>(i)] = dist(rng);
+  Vec b(static_cast<std::size_t>(n));
+  a.mult(xref, b);
+
+  DenseLU lu(a);
+  Vec x(static_cast<std::size_t>(n));
+  lu.solve(b, x);
+  for (int i = 0; i < n; ++i)
+    EXPECT_NEAR(x[static_cast<std::size_t>(i)], xref[static_cast<std::size_t>(i)], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DenseLUSweep, ::testing::Values(1, 2, 5, 16, 33, 100));
+
+TEST(DenseLU, PivotingHandlesZeroLeadingDiagonal) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  DenseLU lu(a);
+  Vec b(2), x(2);
+  b[0] = 3;
+  b[1] = 5;
+  lu.solve(b, x);
+  EXPECT_DOUBLE_EQ(x[0], 5.0);
+  EXPECT_DOUBLE_EQ(x[1], 3.0);
+  EXPECT_NEAR(lu.determinant(), -1.0, 1e-15);
+}
+
+TEST(DenseLU, SingularMatrixThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(DenseLU lu(a), landau::Error);
+}
+
+TEST(DenseLU, SolveAliasingBAndX) {
+  DenseMatrix a(3, 3);
+  for (int i = 0; i < 3; ++i) a(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) = 2.0;
+  a(0, 1) = 1.0;
+  DenseLU lu(a);
+  Vec b(3);
+  b[0] = 4;
+  b[1] = 2;
+  b[2] = 2;
+  lu.solve(b, b);
+  EXPECT_NEAR(b[0], 1.5, 1e-14);
+  EXPECT_NEAR(b[1], 1.0, 1e-14);
+  EXPECT_NEAR(b[2], 1.0, 1e-14);
+}

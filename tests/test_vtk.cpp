@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mesh/refine.h"
+#include "util/special_math.h"
+#include "util/vtk.h"
+
+using namespace landau;
+
+namespace {
+
+fem::FESpace small_space(mesh::Forest& forest) {
+  mesh::VelocityMeshSpec spec;
+  spec.radius = 3.0;
+  spec.thermal_speeds = {0.886};
+  spec.cells_per_thermal = 0.6;
+  spec.max_levels = 2;
+  forest = mesh::build_velocity_mesh(spec);
+  return fem::FESpace(forest, 3);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+} // namespace
+
+TEST(Vtk, FieldFileHasExpectedStructure) {
+  mesh::Forest forest({0, -1, 1, 1}, 1, 2);
+  auto fes = small_space(forest);
+  la::Vec f = fes.interpolate([](double r, double z) { return maxwellian_rz(r, z, 1.0, 1.0); });
+  const std::string path = "/tmp/landau_test_field.vtk";
+  write_vtk(path, fes, f, "f_e");
+  const auto content = slurp(path);
+  EXPECT_NE(content.find("# vtk DataFile"), std::string::npos);
+  EXPECT_NE(content.find("DATASET UNSTRUCTURED_GRID"), std::string::npos);
+  EXPECT_NE(content.find("SCALARS f_e double 1"), std::string::npos);
+  // Each Q3 cell contributes 9 linear quads.
+  std::ostringstream cells;
+  cells << "CELLS " << 9 * fes.n_cells();
+  EXPECT_NE(content.find(cells.str()), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vtk, MeshFileRecordsLevels) {
+  mesh::Forest forest({0, -1, 1, 1}, 1, 2);
+  auto fes = small_space(forest);
+  const std::string path = "/tmp/landau_test_mesh.vtk";
+  write_vtk_mesh(path, fes);
+  const auto content = slurp(path);
+  EXPECT_NE(content.find("SCALARS level int 1"), std::string::npos);
+  std::ostringstream pts;
+  pts << "POINTS " << 4 * forest.n_leaves();
+  EXPECT_NE(content.find(pts.str()), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Vtk, FieldSizeMismatchThrows) {
+  mesh::Forest forest({0, -1, 1, 1}, 1, 2);
+  auto fes = small_space(forest);
+  la::Vec wrong(3);
+  EXPECT_THROW(write_vtk("/tmp/never.vtk", fes, wrong), landau::Error);
+}
