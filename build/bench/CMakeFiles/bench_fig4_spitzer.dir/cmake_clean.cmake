@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_spitzer.dir/bench_fig4_spitzer.cpp.o"
+  "CMakeFiles/bench_fig4_spitzer.dir/bench_fig4_spitzer.cpp.o.d"
+  "bench_fig4_spitzer"
+  "bench_fig4_spitzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_spitzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

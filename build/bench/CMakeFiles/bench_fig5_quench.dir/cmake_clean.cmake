@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_quench.dir/bench_fig5_quench.cpp.o"
+  "CMakeFiles/bench_fig5_quench.dir/bench_fig5_quench.cpp.o.d"
+  "bench_fig5_quench"
+  "bench_fig5_quench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_quench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

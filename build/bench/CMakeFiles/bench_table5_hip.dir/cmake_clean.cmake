@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_hip.dir/bench_table5_hip.cpp.o"
+  "CMakeFiles/bench_table5_hip.dir/bench_table5_hip.cpp.o.d"
+  "bench_table5_hip"
+  "bench_table5_hip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_hip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

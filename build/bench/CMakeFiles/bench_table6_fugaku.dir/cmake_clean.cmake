@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fugaku.dir/bench_table6_fugaku.cpp.o"
+  "CMakeFiles/bench_table6_fugaku.dir/bench_table6_fugaku.cpp.o.d"
+  "bench_table6_fugaku"
+  "bench_table6_fugaku.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fugaku.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collision_harness.dir/collision_harness.cpp.o"
+  "CMakeFiles/collision_harness.dir/collision_harness.cpp.o.d"
+  "collision_harness"
+  "collision_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collision_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

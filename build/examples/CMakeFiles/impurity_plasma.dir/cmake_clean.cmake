@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/impurity_plasma.dir/impurity_plasma.cpp.o"
+  "CMakeFiles/impurity_plasma.dir/impurity_plasma.cpp.o.d"
+  "impurity_plasma"
+  "impurity_plasma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/impurity_plasma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for impurity_plasma.
+# This may be replaced when dependencies are built.

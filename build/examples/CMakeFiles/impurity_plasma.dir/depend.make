@@ -1,0 +1,2 @@
+# Empty dependencies file for impurity_plasma.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/runaway_tail.dir/runaway_tail.cpp.o"
+  "CMakeFiles/runaway_tail.dir/runaway_tail.cpp.o.d"
+  "runaway_tail"
+  "runaway_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/runaway_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

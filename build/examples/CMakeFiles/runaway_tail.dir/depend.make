@@ -1,0 +1,2 @@
+# Empty dependencies file for runaway_tail.
+# This may be replaced when dependencies are built.

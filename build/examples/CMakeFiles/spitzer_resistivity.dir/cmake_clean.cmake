@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spitzer_resistivity.dir/spitzer_resistivity.cpp.o"
+  "CMakeFiles/spitzer_resistivity.dir/spitzer_resistivity.cpp.o.d"
+  "spitzer_resistivity"
+  "spitzer_resistivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spitzer_resistivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spitzer_resistivity.
+# This may be replaced when dependencies are built.

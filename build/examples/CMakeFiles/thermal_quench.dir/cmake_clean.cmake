@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_quench.dir/thermal_quench.cpp.o"
+  "CMakeFiles/thermal_quench.dir/thermal_quench.cpp.o.d"
+  "thermal_quench"
+  "thermal_quench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_quench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

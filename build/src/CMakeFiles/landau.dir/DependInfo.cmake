@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/advection.cpp" "src/CMakeFiles/landau.dir/core/advection.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/advection.cpp.o.d"
+  "/root/repo/src/core/ip_data.cpp" "src/CMakeFiles/landau.dir/core/ip_data.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/ip_data.cpp.o.d"
+  "/root/repo/src/core/jacobian.cpp" "src/CMakeFiles/landau.dir/core/jacobian.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/jacobian.cpp.o.d"
+  "/root/repo/src/core/kernel_cpu.cpp" "src/CMakeFiles/landau.dir/core/kernel_cpu.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/kernel_cpu.cpp.o.d"
+  "/root/repo/src/core/kernel_cuda.cpp" "src/CMakeFiles/landau.dir/core/kernel_cuda.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/kernel_cuda.cpp.o.d"
+  "/root/repo/src/core/kernel_kokkos.cpp" "src/CMakeFiles/landau.dir/core/kernel_kokkos.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/kernel_kokkos.cpp.o.d"
+  "/root/repo/src/core/landau_tensor.cpp" "src/CMakeFiles/landau.dir/core/landau_tensor.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/landau_tensor.cpp.o.d"
+  "/root/repo/src/core/multigrid.cpp" "src/CMakeFiles/landau.dir/core/multigrid.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/multigrid.cpp.o.d"
+  "/root/repo/src/core/operator.cpp" "src/CMakeFiles/landau.dir/core/operator.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/operator.cpp.o.d"
+  "/root/repo/src/core/species.cpp" "src/CMakeFiles/landau.dir/core/species.cpp.o" "gcc" "src/CMakeFiles/landau.dir/core/species.cpp.o.d"
+  "/root/repo/src/exec/schedule_sim.cpp" "src/CMakeFiles/landau.dir/exec/schedule_sim.cpp.o" "gcc" "src/CMakeFiles/landau.dir/exec/schedule_sim.cpp.o.d"
+  "/root/repo/src/exec/stream.cpp" "src/CMakeFiles/landau.dir/exec/stream.cpp.o" "gcc" "src/CMakeFiles/landau.dir/exec/stream.cpp.o.d"
+  "/root/repo/src/exec/thread_pool.cpp" "src/CMakeFiles/landau.dir/exec/thread_pool.cpp.o" "gcc" "src/CMakeFiles/landau.dir/exec/thread_pool.cpp.o.d"
+  "/root/repo/src/fem/dofmap.cpp" "src/CMakeFiles/landau.dir/fem/dofmap.cpp.o" "gcc" "src/CMakeFiles/landau.dir/fem/dofmap.cpp.o.d"
+  "/root/repo/src/fem/fespace.cpp" "src/CMakeFiles/landau.dir/fem/fespace.cpp.o" "gcc" "src/CMakeFiles/landau.dir/fem/fespace.cpp.o.d"
+  "/root/repo/src/fem/lagrange.cpp" "src/CMakeFiles/landau.dir/fem/lagrange.cpp.o" "gcc" "src/CMakeFiles/landau.dir/fem/lagrange.cpp.o.d"
+  "/root/repo/src/fem/quadrature.cpp" "src/CMakeFiles/landau.dir/fem/quadrature.cpp.o" "gcc" "src/CMakeFiles/landau.dir/fem/quadrature.cpp.o.d"
+  "/root/repo/src/fem/tabulation.cpp" "src/CMakeFiles/landau.dir/fem/tabulation.cpp.o" "gcc" "src/CMakeFiles/landau.dir/fem/tabulation.cpp.o.d"
+  "/root/repo/src/fem/transfer.cpp" "src/CMakeFiles/landau.dir/fem/transfer.cpp.o" "gcc" "src/CMakeFiles/landau.dir/fem/transfer.cpp.o.d"
+  "/root/repo/src/la/band.cpp" "src/CMakeFiles/landau.dir/la/band.cpp.o" "gcc" "src/CMakeFiles/landau.dir/la/band.cpp.o.d"
+  "/root/repo/src/la/band_device.cpp" "src/CMakeFiles/landau.dir/la/band_device.cpp.o" "gcc" "src/CMakeFiles/landau.dir/la/band_device.cpp.o.d"
+  "/root/repo/src/la/csr.cpp" "src/CMakeFiles/landau.dir/la/csr.cpp.o" "gcc" "src/CMakeFiles/landau.dir/la/csr.cpp.o.d"
+  "/root/repo/src/la/dense.cpp" "src/CMakeFiles/landau.dir/la/dense.cpp.o" "gcc" "src/CMakeFiles/landau.dir/la/dense.cpp.o.d"
+  "/root/repo/src/la/gmres.cpp" "src/CMakeFiles/landau.dir/la/gmres.cpp.o" "gcc" "src/CMakeFiles/landau.dir/la/gmres.cpp.o.d"
+  "/root/repo/src/la/rcm.cpp" "src/CMakeFiles/landau.dir/la/rcm.cpp.o" "gcc" "src/CMakeFiles/landau.dir/la/rcm.cpp.o.d"
+  "/root/repo/src/la/vec.cpp" "src/CMakeFiles/landau.dir/la/vec.cpp.o" "gcc" "src/CMakeFiles/landau.dir/la/vec.cpp.o.d"
+  "/root/repo/src/landau3d/operator3d.cpp" "src/CMakeFiles/landau.dir/landau3d/operator3d.cpp.o" "gcc" "src/CMakeFiles/landau.dir/landau3d/operator3d.cpp.o.d"
+  "/root/repo/src/landau3d/space3d.cpp" "src/CMakeFiles/landau.dir/landau3d/space3d.cpp.o" "gcc" "src/CMakeFiles/landau.dir/landau3d/space3d.cpp.o.d"
+  "/root/repo/src/mesh/forest.cpp" "src/CMakeFiles/landau.dir/mesh/forest.cpp.o" "gcc" "src/CMakeFiles/landau.dir/mesh/forest.cpp.o.d"
+  "/root/repo/src/mesh/refine.cpp" "src/CMakeFiles/landau.dir/mesh/refine.cpp.o" "gcc" "src/CMakeFiles/landau.dir/mesh/refine.cpp.o.d"
+  "/root/repo/src/quench/model.cpp" "src/CMakeFiles/landau.dir/quench/model.cpp.o" "gcc" "src/CMakeFiles/landau.dir/quench/model.cpp.o.d"
+  "/root/repo/src/quench/source.cpp" "src/CMakeFiles/landau.dir/quench/source.cpp.o" "gcc" "src/CMakeFiles/landau.dir/quench/source.cpp.o.d"
+  "/root/repo/src/quench/spitzer.cpp" "src/CMakeFiles/landau.dir/quench/spitzer.cpp.o" "gcc" "src/CMakeFiles/landau.dir/quench/spitzer.cpp.o.d"
+  "/root/repo/src/solver/implicit.cpp" "src/CMakeFiles/landau.dir/solver/implicit.cpp.o" "gcc" "src/CMakeFiles/landau.dir/solver/implicit.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/landau.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/landau.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/options.cpp" "src/CMakeFiles/landau.dir/util/options.cpp.o" "gcc" "src/CMakeFiles/landau.dir/util/options.cpp.o.d"
+  "/root/repo/src/util/profiler.cpp" "src/CMakeFiles/landau.dir/util/profiler.cpp.o" "gcc" "src/CMakeFiles/landau.dir/util/profiler.cpp.o.d"
+  "/root/repo/src/util/special_math.cpp" "src/CMakeFiles/landau.dir/util/special_math.cpp.o" "gcc" "src/CMakeFiles/landau.dir/util/special_math.cpp.o.d"
+  "/root/repo/src/util/table_writer.cpp" "src/CMakeFiles/landau.dir/util/table_writer.cpp.o" "gcc" "src/CMakeFiles/landau.dir/util/table_writer.cpp.o.d"
+  "/root/repo/src/util/vtk.cpp" "src/CMakeFiles/landau.dir/util/vtk.cpp.o" "gcc" "src/CMakeFiles/landau.dir/util/vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

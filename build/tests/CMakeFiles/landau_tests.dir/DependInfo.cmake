@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_band_device.cpp" "tests/CMakeFiles/landau_tests.dir/test_band_device.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_band_device.cpp.o.d"
+  "/root/repo/tests/test_csr.cpp" "tests/CMakeFiles/landau_tests.dir/test_csr.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_csr.cpp.o.d"
+  "/root/repo/tests/test_cuda_sim.cpp" "tests/CMakeFiles/landau_tests.dir/test_cuda_sim.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_cuda_sim.cpp.o.d"
+  "/root/repo/tests/test_dofmap.cpp" "tests/CMakeFiles/landau_tests.dir/test_dofmap.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_dofmap.cpp.o.d"
+  "/root/repo/tests/test_fespace.cpp" "tests/CMakeFiles/landau_tests.dir/test_fespace.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_fespace.cpp.o.d"
+  "/root/repo/tests/test_forest.cpp" "tests/CMakeFiles/landau_tests.dir/test_forest.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_forest.cpp.o.d"
+  "/root/repo/tests/test_forest_fuzz.cpp" "tests/CMakeFiles/landau_tests.dir/test_forest_fuzz.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_forest_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gmres.cpp" "tests/CMakeFiles/landau_tests.dir/test_gmres.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_gmres.cpp.o.d"
+  "/root/repo/tests/test_ip_data.cpp" "tests/CMakeFiles/landau_tests.dir/test_ip_data.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_ip_data.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/landau_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_kokkos_sim.cpp" "tests/CMakeFiles/landau_tests.dir/test_kokkos_sim.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_kokkos_sim.cpp.o.d"
+  "/root/repo/tests/test_lagrange.cpp" "tests/CMakeFiles/landau_tests.dir/test_lagrange.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_lagrange.cpp.o.d"
+  "/root/repo/tests/test_landau3d.cpp" "tests/CMakeFiles/landau_tests.dir/test_landau3d.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_landau3d.cpp.o.d"
+  "/root/repo/tests/test_landau_tensor.cpp" "tests/CMakeFiles/landau_tests.dir/test_landau_tensor.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_landau_tensor.cpp.o.d"
+  "/root/repo/tests/test_multigrid.cpp" "tests/CMakeFiles/landau_tests.dir/test_multigrid.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_multigrid.cpp.o.d"
+  "/root/repo/tests/test_operator.cpp" "tests/CMakeFiles/landau_tests.dir/test_operator.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_operator.cpp.o.d"
+  "/root/repo/tests/test_options.cpp" "tests/CMakeFiles/landau_tests.dir/test_options.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_options.cpp.o.d"
+  "/root/repo/tests/test_quadrature.cpp" "tests/CMakeFiles/landau_tests.dir/test_quadrature.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_quadrature.cpp.o.d"
+  "/root/repo/tests/test_quench.cpp" "tests/CMakeFiles/landau_tests.dir/test_quench.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_quench.cpp.o.d"
+  "/root/repo/tests/test_rcm_band.cpp" "tests/CMakeFiles/landau_tests.dir/test_rcm_band.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_rcm_band.cpp.o.d"
+  "/root/repo/tests/test_refine.cpp" "tests/CMakeFiles/landau_tests.dir/test_refine.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_refine.cpp.o.d"
+  "/root/repo/tests/test_schedule_sim.cpp" "tests/CMakeFiles/landau_tests.dir/test_schedule_sim.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_schedule_sim.cpp.o.d"
+  "/root/repo/tests/test_special_math.cpp" "tests/CMakeFiles/landau_tests.dir/test_special_math.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_special_math.cpp.o.d"
+  "/root/repo/tests/test_species.cpp" "tests/CMakeFiles/landau_tests.dir/test_species.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_species.cpp.o.d"
+  "/root/repo/tests/test_spitzer.cpp" "tests/CMakeFiles/landau_tests.dir/test_spitzer.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_spitzer.cpp.o.d"
+  "/root/repo/tests/test_stream.cpp" "tests/CMakeFiles/landau_tests.dir/test_stream.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_stream.cpp.o.d"
+  "/root/repo/tests/test_thread_pool.cpp" "tests/CMakeFiles/landau_tests.dir/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_thread_pool.cpp.o.d"
+  "/root/repo/tests/test_transfer.cpp" "tests/CMakeFiles/landau_tests.dir/test_transfer.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_transfer.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/landau_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_vec_dense.cpp" "tests/CMakeFiles/landau_tests.dir/test_vec_dense.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_vec_dense.cpp.o.d"
+  "/root/repo/tests/test_vtk.cpp" "tests/CMakeFiles/landau_tests.dir/test_vtk.cpp.o" "gcc" "tests/CMakeFiles/landau_tests.dir/test_vtk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/landau.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
