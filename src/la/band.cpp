@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <mutex>
 
 #include "la/rcm.h"
 #include "util/error.h"
+#include "util/profiler.h"
 
 namespace landau::la {
 
@@ -40,6 +43,16 @@ BandMatrix BandMatrix::from_csr(const CsrMatrix& a, const std::vector<std::int32
     }
   }
   return b;
+}
+
+void BandMatrix::reshape(std::size_t n, std::size_t lbw, std::size_t ubw) {
+  n_ = n;
+  lbw_ = lbw;
+  ubw_ = ubw;
+  width_ = lbw + ubw + 1;
+  const std::size_t need = n_ * width_;
+  if (data_.size() < need) data_.resize(need);
+  std::fill(data_.begin(), data_.begin() + static_cast<std::ptrdiff_t>(need), 0.0);
 }
 
 std::int64_t BandMatrix::factor_lu() {
@@ -96,30 +109,132 @@ void BandMatrix::mult(const Vec& x, Vec& y) const {
   }
 }
 
+std::vector<BlockRange> discover_blocks(const CsrMatrix& a,
+                                        const std::vector<std::int32_t>& perm) {
+  LANDAU_ASSERT(perm.size() == a.rows(), "permutation size mismatch");
+  std::int32_t nc = 0;
+  auto comp = connected_components(a, &nc);
+  std::vector<BlockRange> blocks;
+  std::size_t begin = 0;
+  for (std::size_t i = 1; i <= perm.size(); ++i) {
+    const bool boundary = (i == perm.size()) ||
+                          comp[static_cast<std::size_t>(perm[i])] !=
+                              comp[static_cast<std::size_t>(perm[begin])];
+    if (boundary) {
+      blocks.push_back({begin, i});
+      begin = i;
+    }
+  }
+  LANDAU_ASSERT(blocks.size() == static_cast<std::size_t>(nc),
+                "RCM did not emit components contiguously: " << blocks.size() << " runs for "
+                                                             << nc << " components");
+  return blocks;
+}
+
+void BandBlock::analyze(const CsrMatrix& a, const std::vector<std::int32_t>& perm,
+                        const std::vector<std::int32_t>& inv, BlockRange range) {
+  begin_ = range.begin;
+  end_ = range.end;
+  auto rowptr = a.row_offsets();
+  auto colind = a.col_indices();
+
+  // Band widths of the permuted block (the from_csr first pass, cached).
+  std::size_t lbw = 0, ubw = 0;
+  std::size_t nnz = 0;
+  for (std::size_t pi = begin_; pi < end_; ++pi) {
+    const auto i = static_cast<std::size_t>(perm[pi]);
+    for (std::int32_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const auto pj = static_cast<std::size_t>(inv[static_cast<std::size_t>(colind[k])]);
+      LANDAU_ASSERT(pj >= begin_ && pj < end_,
+                    "matrix entry couples across block boundary: (" << pi << "," << pj << ")");
+      if (pj < pi)
+        lbw = std::max(lbw, pi - pj);
+      else
+        ubw = std::max(ubw, pj - pi);
+      ++nnz;
+    }
+  }
+  lu_.reshape(end_ - begin_, lbw, ubw);
+
+  // CSR-value -> band-storage scatter map: factor() becomes a value copy.
+  scatter_.clear();
+  scatter_.reserve(nnz);
+  for (std::size_t pi = begin_; pi < end_; ++pi) {
+    const auto i = static_cast<std::size_t>(perm[pi]);
+    for (std::int32_t k = rowptr[i]; k < rowptr[i + 1]; ++k) {
+      const auto pj = static_cast<std::size_t>(inv[static_cast<std::size_t>(colind[k])]);
+      scatter_.push_back(
+          {static_cast<std::size_t>(k), lu_.index(pi - begin_, pj - begin_)});
+    }
+  }
+  rhs_.resize(end_ - begin_);
+}
+
+void BandBlock::load(const CsrMatrix& a) {
+  lu_.zero();
+  auto vals = a.values();
+  auto dst = lu_.data();
+  for (const auto& e : scatter_) dst[e.dst] = vals[e.src];
+}
+
+void BandBlock::gather_rhs(const Vec& b, const std::vector<std::int32_t>& perm) {
+  for (std::size_t i = 0; i < rhs_.size(); ++i)
+    rhs_[i] = b[static_cast<std::size_t>(perm[begin_ + i])];
+}
+
+void BandBlock::scatter_solution(Vec& x, const std::vector<std::int32_t>& perm) const {
+  for (std::size_t i = 0; i < rhs_.size(); ++i)
+    x[static_cast<std::size_t>(perm[begin_ + i])] = rhs_[i];
+}
+
+namespace {
+
+/// Run fn(block_index) for every block — batched over the pool when one is
+/// available (one task per block, the host mirror of the device batch),
+/// serially otherwise. Exceptions from workers (e.g. a zero pivot) are
+/// rethrown on the calling thread.
+template <class F>
+void dispatch_blocks(exec::ThreadPool* pool, std::size_t n, F&& fn) {
+  if (pool != nullptr && pool->n_workers() > 1 && n > 1) {
+    std::exception_ptr err;
+    std::mutex err_mutex;
+    pool->parallel_for(n, [&](std::size_t bi) {
+      try {
+        fn(bi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(err_mutex);
+        if (!err) err = std::current_exception();
+      }
+    });
+    if (err) std::rethrow_exception(err);
+    return;
+  }
+  for (std::size_t bi = 0; bi < n; ++bi) fn(bi);
+}
+
+} // namespace
+
 void BlockBandSolver::analyze(const CsrMatrix& a) {
   perm_ = rcm_ordering(a);
   inv_ = invert_permutation(perm_);
   bandwidth_ = permuted_bandwidth(a, perm_);
 
-  // RCM emits each connected component contiguously; find the boundaries.
-  std::int32_t nc = 0;
-  auto comp = connected_components(a, &nc);
+  const auto ranges = discover_blocks(a, perm_);
+  blocks_.assign(ranges.size(), BandBlock());
+  for (std::size_t bi = 0; bi < ranges.size(); ++bi)
+    blocks_[bi].analyze(a, perm_, inv_, ranges[bi]);
+  flops_scratch_.assign(blocks_.size(), 0);
+  factor_event_ = Profiler::instance().event_id("landau:factor");
+  solve_event_ = Profiler::instance().event_id("landau:solve");
+  ++analysis_count_;
+}
+
+void BlockBandSolver::invalidate() {
+  perm_.clear();
+  inv_.clear();
   blocks_.clear();
-  std::size_t begin = 0;
-  for (std::size_t i = 1; i <= perm_.size(); ++i) {
-    const bool boundary = (i == perm_.size()) ||
-                          comp[static_cast<std::size_t>(perm_[i])] !=
-                              comp[static_cast<std::size_t>(perm_[begin])];
-    if (boundary) {
-      Block blk;
-      blk.begin = begin;
-      blk.end = i;
-      blocks_.push_back(std::move(blk));
-      begin = i;
-    }
-  }
-  LANDAU_ASSERT(blocks_.size() == static_cast<std::size_t>(nc),
-                "RCM did not emit components contiguously");
+  flops_scratch_.clear();
+  bandwidth_ = 0;
 }
 
 void BlockBandSolver::factor(const CsrMatrix& a) {
@@ -127,25 +242,38 @@ void BlockBandSolver::factor(const CsrMatrix& a) {
   LANDAU_ASSERT(a.rows() == perm_.size(), "matrix size changed since analyze()");
   // Each diagonal block (one species' subsystem, §III-G) factors
   // independently; on a GPU each would occupy one or more SMs.
-  for (auto& blk : blocks_) {
-    blk.lu = BandMatrix::from_csr(a, perm_, blk.begin, blk.end);
-    blk.lu.factor_lu();
+  dispatch_blocks(pool_, blocks_.size(), [this, &a](std::size_t bi) {
+    blocks_[bi].load(a);
+    flops_scratch_[bi] = blocks_[bi].lu().factor_lu();
+  });
+  std::int64_t flops = 0, bytes = 0;
+  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
+    flops += flops_scratch_[bi];
+    // Value scatter reads the block's CSR values once; the in-place LU
+    // streams the band storage through once more (read + write).
+    bytes += static_cast<std::int64_t>(blocks_[bi].nnz()) * 8 +
+             static_cast<std::int64_t>(blocks_[bi].lu().data().size()) * 8 * 2;
   }
+  Profiler::instance().add_work(factor_event_, flops, bytes);
 }
 
-void BlockBandSolver::solve(const Vec& b, Vec& x) const {
+void BlockBandSolver::solve(const Vec& b, Vec& x) {
+  LANDAU_ASSERT(analyzed(), "call analyze() before solve()");
   LANDAU_ASSERT(b.size() == perm_.size() && x.size() == perm_.size(), "solve size mismatch");
-  Vec pb, px;
-  for (const auto& blk : blocks_) {
-    const std::size_t n = blk.end - blk.begin;
-    pb.resize(n);
-    px.resize(n);
-    for (std::size_t i = 0; i < n; ++i)
-      pb[i] = b[static_cast<std::size_t>(perm_[blk.begin + i])];
-    blk.lu.solve(pb, px);
-    for (std::size_t i = 0; i < n; ++i)
-      x[static_cast<std::size_t>(perm_[blk.begin + i])] = px[i];
+  dispatch_blocks(pool_, blocks_.size(), [this, &b](std::size_t bi) {
+    BandBlock& blk = blocks_[bi];
+    blk.gather_rhs(b, perm_);
+    blk.lu().solve(blk.rhs(), blk.rhs()); // in place in the workspace
+  });
+  // Scatter back serially: x may alias b, so all reads happen before writes.
+  std::int64_t flops = 0, bytes = 0;
+  for (auto& blk : blocks_) {
+    blk.scatter_solution(x, perm_);
+    flops += blk.lu().solve_flops();
+    bytes += static_cast<std::int64_t>(blk.lu().data().size()) * 8 +
+             static_cast<std::int64_t>(blk.size()) * 8 * 3;
   }
+  Profiler::instance().add_work(solve_event_, flops, bytes);
 }
 
 } // namespace landau::la

@@ -5,6 +5,7 @@
 
 #include "la/rcm.h"
 #include "util/error.h"
+#include "util/profiler.h"
 
 namespace landau::la {
 
@@ -93,56 +94,65 @@ void device_band_solve(exec::ThreadPool& pool, std::span<BandMatrix* const> syst
           blk.sync();
         }
         scope.flops(static_cast<std::int64_t>(n) * static_cast<std::int64_t>(lbw + ubw + 2) * 2);
+        scope.dram(static_cast<std::int64_t>(n) * static_cast<std::int64_t>(lbw + ubw + 1) * 8 +
+                   static_cast<std::int64_t>(n) * 8 * 3);
       },
       counters);
 }
 
 void DeviceBlockBandSolver::analyze(const CsrMatrix& a) {
   perm_ = rcm_ordering(a);
-  std::int32_t nc = 0;
-  auto comp = connected_components(a, &nc);
-  blocks_.clear();
-  std::size_t begin = 0;
-  for (std::size_t i = 1; i <= perm_.size(); ++i) {
-    const bool boundary = (i == perm_.size()) ||
-                          comp[static_cast<std::size_t>(perm_[i])] !=
-                              comp[static_cast<std::size_t>(perm_[begin])];
-    if (boundary) {
-      blocks_.push_back({begin, i, BandMatrix()});
-      begin = i;
-    }
+  inv_ = invert_permutation(perm_);
+  // Shared block discovery: validates that the ordering emits each graph
+  // component contiguously (the host path's assertion) — a non-contiguous
+  // ordering would silently build cross-coupled blocks.
+  const auto ranges = discover_blocks(a, perm_);
+  blocks_.assign(ranges.size(), BandBlock());
+  mats_.resize(blocks_.size());
+  rhs_.resize(blocks_.size());
+  for (std::size_t bi = 0; bi < ranges.size(); ++bi) {
+    blocks_[bi].analyze(a, perm_, inv_, ranges[bi]);
+    mats_[bi] = &blocks_[bi].lu();
+    rhs_[bi] = &blocks_[bi].rhs();
   }
+  factor_event_ = Profiler::instance().event_id("landau:factor");
+  solve_event_ = Profiler::instance().event_id("landau:solve");
+  ++analysis_count_;
+}
+
+void DeviceBlockBandSolver::invalidate() {
+  perm_.clear();
+  inv_.clear();
+  blocks_.clear();
+  mats_.clear();
+  rhs_.clear();
 }
 
 void DeviceBlockBandSolver::factor(const CsrMatrix& a) {
   LANDAU_ASSERT(analyzed(), "call analyze() before factor()");
-  std::vector<BandMatrix*> batch;
-  for (auto& blk : blocks_) {
-    blk.lu = BandMatrix::from_csr(a, perm_, blk.begin, blk.end);
-    batch.push_back(&blk.lu);
-  }
-  device_band_factor(*pool_, batch);
+  LANDAU_ASSERT(a.rows() == perm_.size(), "matrix size changed since analyze()");
+  const std::int64_t flops0 = counters_.flops.load();
+  const std::int64_t dram0 = counters_.dram_bytes.load();
+  // Host-side value scatter through the cached maps (no band-width
+  // rediscovery, no allocation), then one batched device launch.
+  for (auto& blk : blocks_) blk.load(a);
+  device_band_factor(*pool_, {mats_.data(), mats_.size()}, &counters_);
+  Profiler::instance().add_work(factor_event_, counters_.flops.load() - flops0,
+                                counters_.dram_bytes.load() - dram0);
 }
 
 void DeviceBlockBandSolver::solve(const Vec& b, Vec& x) {
+  LANDAU_ASSERT(analyzed(), "call analyze() before solve()");
   LANDAU_ASSERT(b.size() == perm_.size() && x.size() == perm_.size(), "solve size mismatch");
-  std::vector<Vec> rhs(blocks_.size());
-  std::vector<Vec*> ptrs;
-  std::vector<BandMatrix*> mats;
-  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
-    const auto& blk = blocks_[bi];
-    rhs[bi].resize(blk.end - blk.begin);
-    for (std::size_t i = 0; i < rhs[bi].size(); ++i)
-      rhs[bi][i] = b[static_cast<std::size_t>(perm_[blk.begin + i])];
-    ptrs.push_back(&rhs[bi]);
-    mats.push_back(&blocks_[bi].lu);
-  }
-  device_band_solve(*pool_, {mats.data(), mats.size()}, {ptrs.data(), ptrs.size()});
-  for (std::size_t bi = 0; bi < blocks_.size(); ++bi) {
-    const auto& blk = blocks_[bi];
-    for (std::size_t i = 0; i < rhs[bi].size(); ++i)
-      x[static_cast<std::size_t>(perm_[blk.begin + i])] = rhs[bi][i];
-  }
+  const std::int64_t flops0 = counters_.flops.load();
+  const std::int64_t dram0 = counters_.dram_bytes.load();
+  for (auto& blk : blocks_) blk.gather_rhs(b, perm_);
+  device_band_solve(*pool_, {mats_.data(), mats_.size()}, {rhs_.data(), rhs_.size()},
+                    &counters_);
+  // Scatter back after all solves so x may alias b.
+  for (auto& blk : blocks_) blk.scatter_solution(x, perm_);
+  Profiler::instance().add_work(solve_event_, counters_.flops.load() - flops0,
+                                counters_.dram_bytes.load() - dram0);
 }
 
 } // namespace landau::la

@@ -37,27 +37,38 @@ void device_band_solve(exec::ThreadPool& pool, std::span<BandMatrix* const> syst
                        std::span<Vec*> x, exec::KernelCounters* counters = nullptr);
 
 /// Drop-in replacement for BlockBandSolver running factor/solve through the
-/// device model: RCM analysis on the host (amortized metadata, §III-F),
-/// then each species block is one batch entry.
+/// device model: RCM analysis on the host (amortized metadata, §III-F), then
+/// each species block is one batch entry. Shares the symbolic machinery with
+/// the host solver — the same validated block discovery, cached band widths
+/// and CSR-value -> band-storage scatter maps — so factor() and solve() are
+/// allocation-free after analyze() and re-analysis is only needed when the
+/// nonzero structure changes.
 class DeviceBlockBandSolver {
 public:
   explicit DeviceBlockBandSolver(exec::ThreadPool& pool) : pool_(&pool) {}
 
   void analyze(const CsrMatrix& a);
+  void invalidate();
   void factor(const CsrMatrix& a);
   void solve(const Vec& b, Vec& x);
 
   std::size_t n_blocks() const { return blocks_.size(); }
   bool analyzed() const { return !perm_.empty(); }
+  long analysis_count() const { return analysis_count_; }
+
+  /// Device-side work counters accumulated over factor()/solve() calls.
+  const exec::KernelCounters& counters() const { return counters_; }
 
 private:
-  struct Block {
-    std::size_t begin = 0, end = 0;
-    BandMatrix lu;
-  };
   exec::ThreadPool* pool_;
   std::vector<std::int32_t> perm_;
-  std::vector<Block> blocks_;
+  std::vector<std::int32_t> inv_;
+  std::vector<BandBlock> blocks_;
+  std::vector<BandMatrix*> mats_; // persistent batch views into blocks_
+  std::vector<Vec*> rhs_;
+  exec::KernelCounters counters_;
+  long analysis_count_ = 0;
+  int factor_event_ = -1, solve_event_ = -1;
 };
 
 } // namespace landau::la

@@ -42,22 +42,34 @@ double DenseMatrix::norm_frobenius() const {
 DenseLU::DenseLU(DenseMatrix a) : lu_(std::move(a)) {
   LANDAU_ASSERT(lu_.rows() == lu_.cols(), "LU requires a square matrix");
   const std::size_t n = lu_.rows();
+  // Row scales for scaled partial pivoting. Landau Jacobians mix rows whose
+  // magnitudes differ by many orders (cell volumes across AMR levels), and
+  // raw-magnitude pivoting then selects rows that dominate only by scale —
+  // the factors lose all accuracy. Pivoting on |a_ik| / max_j |a_ij| is
+  // scale-invariant and restores a backward-stable solve.
+  std::vector<double> scale(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* ri = lu_.row(i);
+    for (std::size_t j = 0; j < n; ++j) scale[i] = std::max(scale[i], std::abs(ri[j]));
+    if (scale[i] == 0.0) LANDAU_THROW("singular matrix in dense LU: zero row " << i);
+  }
   pivots_.resize(n);
   for (std::size_t k = 0; k < n; ++k) {
-    // Partial pivot.
+    // Scaled partial pivot.
     std::size_t p = k;
-    double best = std::abs(lu_(k, k));
+    double best = std::abs(lu_(k, k)) / scale[k];
     for (std::size_t i = k + 1; i < n; ++i) {
-      const double v = std::abs(lu_(i, k));
+      const double v = std::abs(lu_(i, k)) / scale[i];
       if (v > best) {
         best = v;
         p = i;
       }
     }
-    if (best == 0.0) LANDAU_THROW("singular matrix in dense LU at column " << k);
+    if (lu_(p, k) == 0.0) LANDAU_THROW("singular matrix in dense LU at column " << k);
     pivots_[k] = static_cast<int>(p);
     if (p != k) {
       for (std::size_t j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
+      std::swap(scale[k], scale[p]);
       pivot_sign_ = -pivot_sign_;
     }
     const double inv = 1.0 / lu_(k, k);

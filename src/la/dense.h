@@ -45,8 +45,11 @@ private:
   std::vector<double> data_;
 };
 
-/// LU factorization with partial pivoting of a square dense matrix; keeps the
-/// factors and pivot sequence for repeated solves.
+/// LU factorization with scaled partial pivoting of a square dense matrix;
+/// keeps the factors and pivot sequence for repeated solves. Pivots are
+/// chosen by |a_ik| / max_j |a_ij| so badly row-scaled systems (Landau
+/// Jacobians span many orders of magnitude across AMR levels) stay
+/// backward stable.
 class DenseLU {
 public:
   explicit DenseLU(DenseMatrix a);

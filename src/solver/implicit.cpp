@@ -8,16 +8,33 @@
 namespace landau {
 
 ImplicitIntegrator::ImplicitIntegrator(CollisionOperatorBase& op, NewtonOptions nopts,
-                                       LinearSolverKind linear)
-    : op_(op), nopts_(nopts), linear_(linear), cmat_(op.new_matrix()), jmat_(op.new_matrix()) {}
+                                       LinearSolverKind linear, LinearSolverOptions lsopts)
+    : op_(op), nopts_(nopts), linear_(linear), lsopts_(lsopts), cmat_(op.new_matrix()),
+      jmat_(op.new_matrix()), band_(&op.worker_pool()) {}
+
+void ImplicitIntegrator::invalidate_if_structure_changed(const la::CsrMatrix& jmat) {
+  // The band solvers' symbolic phase (RCM, block discovery, scatter maps) is
+  // amortized across Newton iterations and steps (§III-G); quasi-Newton
+  // freezes the structure, so only an actual pattern change — AMR refine
+  // swapping in a new matrix — may invalidate it.
+  if (jmat.rows() == sym_rows_ && jmat.nnz() == sym_nnz_) return;
+  if (sym_rows_ != 0)
+    LANDAU_DEBUG("linear solver: matrix structure changed ("
+                 << sym_rows_ << "x" << sym_nnz_ << " nnz -> " << jmat.rows() << "x"
+                 << jmat.nnz() << " nnz), re-running symbolic analysis");
+  band_.invalidate();
+  if (device_band_) device_band_->invalidate();
+  sym_rows_ = jmat.rows();
+  sym_nnz_ = jmat.nnz();
+}
 
 void ImplicitIntegrator::factor_and_solve(const la::CsrMatrix& jmat, const la::Vec& rhs,
                                           la::Vec& x) {
+  invalidate_if_structure_changed(jmat);
   switch (linear_) {
     case LinearSolverKind::BandLU: {
-      if (!band_analyzed_) {
+      if (!band_.analyzed()) {
         band_.analyze(jmat);
-        band_analyzed_ = true;
         LANDAU_DEBUG("band solver: " << band_.n_blocks() << " blocks, bandwidth "
                                      << band_.bandwidth());
       }
@@ -54,8 +71,11 @@ void ImplicitIntegrator::factor_and_solve(const la::CsrMatrix& jmat, const la::V
       ScopedEvent ev("landau:solve");
       x.zero();
       la::GmresOptions gopts;
-      gopts.rtol = 1e-12;
-      gopts.max_iterations = 2000;
+      gopts.rtol = lsopts_.gmres_rtol;
+      gopts.atol = lsopts_.gmres_atol;
+      gopts.max_iterations = lsopts_.gmres_max_iterations;
+      gopts.restart = lsopts_.gmres_restart;
+      gopts.jacobi_preconditioner = lsopts_.gmres_jacobi_preconditioner;
       const auto res = la::gmres_solve(jmat, rhs, x, gopts);
       if (!res.converged)
         LANDAU_WARN("GMRES stalled at residual " << res.residual_norm);
@@ -68,6 +88,12 @@ StepStats ImplicitIntegrator::step(la::Vec& f, double dt, double e_z, const la::
   ScopedEvent ev("landau:step");
   const std::size_t n = op_.n_total();
   LANDAU_ASSERT(f.size() == n, "state size mismatch");
+  if (cmat_.rows() != n) {
+    // The operator was rebuilt under us (AMR refine): new matrices with the
+    // new pattern; factor_and_solve notices and re-runs the symbolic phase.
+    cmat_ = op_.new_matrix();
+    jmat_ = op_.new_matrix();
+  }
   const la::Vec fn = f;
   const auto& mass = op_.mass();
   const double theta = nopts_.theta;
@@ -132,13 +158,19 @@ StepStats ImplicitIntegrator::step(la::Vec& f, double dt, double e_z, const la::
 
     // Stagnation exit: once the update is negligible relative to the state,
     // the quasi-Newton iteration has hit its roundoff floor — further
-    // iterations only burn Jacobian builds (PETSc's snes_stol analog).
+    // iterations only burn Jacobian builds (PETSc's snes_stol analog). The
+    // step is accepted, but |G| never met atol/rtol, so converged stays
+    // false: quench runs must not silently treat a stalled step as solved.
     if (delta.norm2() <= 1e-12 * std::max(1.0, f.norm2())) {
-      stats.converged = true;
+      stats.stagnated = true;
+      LANDAU_WARN("Newton stagnated after " << stats.newton_iterations
+                                            << " iterations: |delta| at roundoff floor with |G| = "
+                                            << stats.residual_norm
+                                            << " above tolerance; accepting the step");
       break;
     }
   }
-  if (!stats.converged)
+  if (!stats.converged && !stats.stagnated)
     LANDAU_WARN("Newton did not converge: |G| = " << stats.residual_norm << " after "
                                                   << stats.newton_iterations << " iterations");
   return stats;

@@ -10,8 +10,12 @@
 // matrix and s an optional source. The Newton matrix is M + dt (A - C).
 //
 // Linear solvers: the custom block band LU with RCM ordering (§III-G,
-// default — the species blocks factor independently), dense LU (reference),
-// or GMRES (the iterative alternative the conclusion discusses).
+// default — the species blocks factor independently, batched over the
+// operator's worker pool), the device band LU (same batch in the emulated
+// CUDA model), dense LU (reference), or GMRES (the iterative alternative the
+// conclusion discusses). The band solvers' symbolic analysis (RCM, block
+// discovery, scatter maps) is cached across Newton iterations and steps, and
+// invalidated only when the matrix nonzero structure changes (AMR refine).
 
 #include <memory>
 
@@ -36,39 +40,60 @@ struct NewtonOptions {
   double theta = 1.0;
 };
 
+/// Controls for the inner linear solve of each Newton iteration. The direct
+/// solvers have no tunables (their accuracy is fixed by the factorization);
+/// the GMRES fields mirror la::GmresOptions.
+struct LinearSolverOptions {
+  double gmres_rtol = 1e-12;
+  double gmres_atol = 1e-50;
+  int gmres_max_iterations = 2000;
+  int gmres_restart = 60;
+  bool gmres_jacobi_preconditioner = true;
+};
+
 struct StepStats {
   int newton_iterations = 0;
-  bool converged = false;
+  bool converged = false; // |G| met atol/rtol
+  /// The update stalled at the quasi-Newton roundoff floor before |G| met
+  /// the tolerance: the step was accepted, but converged stays honest.
+  bool stagnated = false;
   double residual_norm = 0.0;
 };
 
 class ImplicitIntegrator {
 public:
   explicit ImplicitIntegrator(CollisionOperatorBase& op, NewtonOptions nopts = {},
-                              LinearSolverKind linear = LinearSolverKind::BandLU);
+                              LinearSolverKind linear = LinearSolverKind::BandLU,
+                              LinearSolverOptions lsopts = {});
 
   /// Advance f by one backward-Euler step of size dt under field e_z and
   /// optional source s (a full state-sized vector, df/dt units).
   StepStats step(la::Vec& f, double dt, double e_z = 0.0, const la::Vec* source = nullptr);
 
   LinearSolverKind linear_solver() const { return linear_; }
+  const LinearSolverOptions& linear_options() const { return lsopts_; }
   long total_newton_iterations() const { return newton_count_; }
 
   /// Matrix bandwidth after RCM (diagnostic; valid once a step has run with
   /// the band solver).
   std::size_t band_bandwidth() const { return band_.bandwidth(); }
   std::size_t band_blocks() const { return band_.n_blocks(); }
+  /// Symbolic analyses performed by the host band solver (diagnostic: stays
+  /// at 1 across steps unless the matrix structure changes).
+  long band_analysis_count() const { return band_.analysis_count(); }
 
 private:
+  void invalidate_if_structure_changed(const la::CsrMatrix& jmat);
   void factor_and_solve(const la::CsrMatrix& jmat, const la::Vec& rhs, la::Vec& x);
 
   CollisionOperatorBase& op_;
   NewtonOptions nopts_;
   LinearSolverKind linear_;
+  LinearSolverOptions lsopts_;
   la::CsrMatrix cmat_, jmat_;
   la::BlockBandSolver band_;
   std::unique_ptr<la::DeviceBlockBandSolver> device_band_;
-  bool band_analyzed_ = false;
+  std::size_t sym_rows_ = 0, sym_nnz_ = 0; // structure signature of the cache
   long newton_count_ = 0;
 };
 

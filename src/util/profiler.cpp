@@ -53,6 +53,11 @@ void Profiler::add(int id, double seconds, std::int64_t count) {
   slots_[id]->count.fetch_add(count, std::memory_order_relaxed);
 }
 
+void Profiler::add_work(int id, std::int64_t flops, std::int64_t dram_bytes) {
+  slots_[id]->flops.fetch_add(flops, std::memory_order_relaxed);
+  slots_[id]->dram_bytes.fetch_add(dram_bytes, std::memory_order_relaxed);
+}
+
 std::vector<EventStats> Profiler::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<EventStats> out;
@@ -62,6 +67,8 @@ std::vector<EventStats> Profiler::snapshot() const {
     es.name = s->name;
     es.count = s->count.load(std::memory_order_relaxed);
     es.seconds = 1e-9 * static_cast<double>(s->nanos.load(std::memory_order_relaxed));
+    es.flops = s->flops.load(std::memory_order_relaxed);
+    es.dram_bytes = s->dram_bytes.load(std::memory_order_relaxed);
     out.push_back(es);
   }
   std::sort(out.begin(), out.end(),
@@ -83,11 +90,27 @@ std::int64_t Profiler::count(const std::string& name) const {
   return slots_[it->second]->count.load(std::memory_order_relaxed);
 }
 
+std::int64_t Profiler::flops(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return 0;
+  return slots_[it->second]->flops.load(std::memory_order_relaxed);
+}
+
+std::int64_t Profiler::dram_bytes(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return 0;
+  return slots_[it->second]->dram_bytes.load(std::memory_order_relaxed);
+}
+
 void Profiler::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& s : slots_) {
     s->count.store(0, std::memory_order_relaxed);
     s->nanos.store(0, std::memory_order_relaxed);
+    s->flops.store(0, std::memory_order_relaxed);
+    s->dram_bytes.store(0, std::memory_order_relaxed);
   }
 }
 
@@ -95,11 +118,14 @@ std::string Profiler::report() const {
   auto stats = snapshot();
   std::ostringstream os;
   os << std::left << std::setw(32) << "event" << std::right << std::setw(12) << "count"
-     << std::setw(14) << "seconds" << "\n";
+     << std::setw(14) << "seconds" << std::setw(12) << "Mflops" << std::setw(12) << "MB"
+     << "\n";
   for (const auto& s : stats) {
-    if (s.count == 0) continue;
+    if (s.count == 0 && s.flops == 0) continue;
     os << std::left << std::setw(32) << s.name << std::right << std::setw(12) << s.count
-       << std::setw(14) << std::fixed << std::setprecision(6) << s.seconds << "\n";
+       << std::setw(14) << std::fixed << std::setprecision(6) << s.seconds << std::setw(12)
+       << std::setprecision(1) << 1e-6 * static_cast<double>(s.flops) << std::setw(12)
+       << std::setprecision(1) << 1e-6 * static_cast<double>(s.dram_bytes) << "\n";
   }
   return os.str();
 }

@@ -22,6 +22,8 @@ struct EventStats {
   std::string name;
   std::int64_t count = 0;
   double seconds = 0.0;
+  std::int64_t flops = 0;      // work attributed via add_work()
+  std::int64_t dram_bytes = 0; // memory traffic attributed via add_work()
 };
 
 /// Global registry of profiling events.
@@ -38,12 +40,19 @@ public:
   /// Add externally-measured time (used by the schedule simulator).
   void add(int id, double seconds, std::int64_t count = 1);
 
+  /// Attribute flop/DRAM work to an event (the linear solvers and kernels
+  /// thread their counters here so phase totals carry work, not just time).
+  /// Allocation-free: callers cache the id from event_id().
+  void add_work(int id, std::int64_t flops, std::int64_t dram_bytes = 0);
+
   /// Snapshot of all events (sorted by accumulated time, descending).
   std::vector<EventStats> snapshot() const;
 
   /// Accumulated seconds for one event by name (0 if never seen).
   double seconds(const std::string& name) const;
   std::int64_t count(const std::string& name) const;
+  std::int64_t flops(const std::string& name) const;
+  std::int64_t dram_bytes(const std::string& name) const;
 
   /// Zero all accumulators (ids remain valid). Used between bench phases.
   void reset();
@@ -58,6 +67,8 @@ private:
     std::string name;
     std::atomic<std::int64_t> count{0};
     std::atomic<std::int64_t> nanos{0};
+    std::atomic<std::int64_t> flops{0};
+    std::atomic<std::int64_t> dram_bytes{0};
   };
 
   mutable std::mutex mutex_;
