@@ -43,9 +43,13 @@ int main(int argc, char** argv) {
   const double eta_sp = spitzer_eta(z);
 
   TableWriter table("Spitzer resistivity verification (normalized units)");
-  table.header({"Z", "eta = E/J", "eta_Spitzer", "ratio", "steps", "steady"});
+  table.header({"Z", "eta = E/J", "eta_Spitzer", "ratio", "steps", "steady", "rejects"});
   table.add_row().cell(z, 1).cell(res.eta, 6).cell(eta_sp, 6).cell(res.eta / eta_sp, 4)
-      .cell(res.steps).cell(res.converged ? "yes" : "no");
+      .cell(res.steps).cell(res.converged ? "yes" : "no")
+      .cell(static_cast<long long>(res.rejections));
   std::printf("%s", table.str().c_str());
+  if (res.stagnated_steps > 0)
+    std::printf("note: %ld accepted step(s) stagnated at the quasi-Newton floor\n",
+                res.stagnated_steps);
   return 0;
 }

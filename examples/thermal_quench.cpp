@@ -4,11 +4,18 @@
 // (n_e, J, E, T_e) as a time series.
 //
 //   ./thermal_quench [-dt 0.5] [-max_steps 60] [-injected 3] [-csv quench.csv]
+//
+// Robustness knobs: the run goes through the failure-recovering step
+// controller (-dt_min, -max_retries, -backoff), can checkpoint every N
+// accepted steps and resume mid-scenario (-checkpoint quench.ckpt
+// -checkpoint_interval 10 -resume), and accepts an injected fault spec for
+// drills (-fault "throw@factor@step=5", also via LANDAU_FAULT_SPEC).
 
 #include <cstdio>
 
 #include "quench/model.h"
 #include "util/options.h"
+#include "util/robustness.h"
 #include "util/table_writer.h"
 
 using namespace landau;
@@ -29,6 +36,21 @@ int main(int argc, char** argv) {
   qopts.source.cold_temperature = opts.get<double>("cold_t", 0.05, "injected T / T_e0");
   const std::string csv = opts.get<std::string>("csv", "", "optional CSV output path");
   const double ion_mass = opts.get<double>("ion_mass", 200.0, "ion mass (m_e units)");
+  qopts.controller.dt_min = opts.get<double>("dt_min", qopts.controller.dt_min,
+                                             "smallest dt the controller may retry at");
+  qopts.controller.backoff =
+      opts.get<double>("backoff", qopts.controller.backoff, "dt multiplier on a rejected step");
+  qopts.controller.max_retries =
+      opts.get<int>("max_retries", qopts.controller.max_retries, "retries before giving up");
+  qopts.checkpoint_path = opts.get<std::string>("checkpoint", "", "checkpoint file path");
+  qopts.checkpoint_interval =
+      opts.get<int>("checkpoint_interval", 10, "accepted steps between checkpoints");
+  qopts.resume = opts.get<bool>("resume", false, "resume from -checkpoint if it exists");
+  robustness().paranoid =
+      opts.get<bool>("paranoid", false, "finite-value audits at the operator boundary");
+  const std::string fault =
+      opts.get<std::string>("fault", "", "fault-injection spec (see util/robustness.h)");
+  if (!fault.empty()) FaultInjector::instance().configure(fault);
 
   auto species = SpeciesSet::electron_deuterium();
   if (ion_mass > 0) species[1].mass = ion_mass;
@@ -48,14 +70,18 @@ int main(int argc, char** argv) {
   const auto result = model.run();
 
   TableWriter table("thermal quench profiles (normalized; cf. paper Fig. 5)");
-  table.header({"t", "n_e", "J", "E", "T_e", "tail_frac", "phase", "newton"});
+  table.header({"t", "n_e", "J", "E", "T_e", "tail_frac", "phase", "newton", "dt", "rej"});
   for (const auto& s : result.history)
     table.add_row().cell(s.t, 2).cell(s.n_e, 5).cell(s.j_z, 6).cell(s.e_z, 6).cell(s.t_e, 5)
         .cell(s.runaway_fraction, 6).cell(s.quench_phase ? "quench" : "spitzer")
-        .cell(s.newton_iterations);
+        .cell(s.newton_iterations).cell(s.dt, 3).cell(s.rejections);
   std::printf("%s", table.str().c_str());
   std::printf("switchover at step %d; injected mass %.4f\n", result.switchover_step,
               result.mass_injected);
+  if (result.resumed) std::printf("resumed from checkpoint %s\n", qopts.checkpoint_path.c_str());
+  if (result.total_rejections > 0 || result.stagnated_steps > 0)
+    std::printf("controller: %ld rejected attempt(s), %ld stagnated step(s)\n",
+                result.total_rejections, result.stagnated_steps);
   if (!csv.empty()) {
     table.write_csv(csv);
     std::printf("wrote %s\n", csv.c_str());

@@ -5,6 +5,7 @@
 #include "core/advection.h"
 #include "util/logging.h"
 #include "util/profiler.h"
+#include "util/robustness.h"
 
 namespace landau {
 namespace {
@@ -112,12 +113,22 @@ void LandauOperator::pack(const la::Vec& state) {
   pack_ip_data(*fes_, blocks, &ip_);
   ctx_.init(*fes_, species_, ip_);
   ctx_.atomic_assembly = opts_.atomic_assembly;
+  if (robustness().paranoid) {
+    // Operator-boundary audit: the packed values/gradients are the inputs the
+    // Landau coefficients D(f), K(f) are integrated from — a NaN here poisons
+    // every entry of the assembled matrix.
+    LANDAU_ASSERT(la::all_finite(ip_.f) && la::all_finite(ip_.dfr) && la::all_finite(ip_.dfz),
+                  "paranoid: non-finite packed IP data (state values/gradients)");
+  }
 }
 
 void LandauOperator::add_collision(la::CsrMatrix& j, exec::KernelCounters* counters) {
   LANDAU_ASSERT(ip_.n > 0, "pack() a state before assembling the collision operator");
   ScopedEvent ev("landau:matrix");
   assemble_landau_jacobian(opts_.backend, *pool_, ctx_, j, counters);
+  if (robustness().paranoid)
+    LANDAU_ASSERT(j.all_finite(),
+                  "paranoid: non-finite entries in the assembled collision matrix");
 }
 
 void LandauOperator::add_advection(la::CsrMatrix& j, double e_z) const {

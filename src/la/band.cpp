@@ -62,7 +62,10 @@ std::int64_t BandMatrix::factor_lu() {
   std::int64_t flops = 0;
   for (std::size_t k = 0; k < n_; ++k) {
     const double piv = at(k, k);
-    if (std::abs(piv) < 1e-300) LANDAU_THROW("zero pivot in banded LU at row " << k);
+    // The negated comparison also rejects NaN pivots (NaN < x is false for
+    // every x), so a poisoned matrix throws instead of factoring into NaNs.
+    if (!(std::abs(piv) >= 1e-300) || !std::isfinite(piv))
+      LANDAU_THROW("zero or non-finite pivot in banded LU at row " << k);
     const double inv = 1.0 / piv;
     const std::size_t imax = std::min(n_ - 1, k + lbw_);
     const std::size_t jmax = std::min(n_ - 1, k + ubw_);

@@ -161,11 +161,18 @@ public:
   void invalidate();
 
   /// Factor the current values of a (pattern must match analyze()).
-  /// Allocation-free after analyze().
+  /// Allocation-free after analyze(). Throws landau::Error on a zero or
+  /// non-finite pivot (a poisoned matrix fails here, not in solve()); after a
+  /// throw the factorization is invalid and solve() must not be called until
+  /// a later factor() succeeds — x is never touched by a failed factor.
   void factor(const CsrMatrix& a);
 
   /// Solve A x = b with the factored matrix. Allocation-free after
-  /// analyze(); b and x may alias.
+  /// analyze(); b and x may alias: every block gathers its permuted rows of b
+  /// into a private workspace and solves there before any block scatters into
+  /// x, so the aliased vector stays consistent even through the batched path
+  /// and through any failure path (a throw during the triangular solves
+  /// happens before the scatter and leaves b/x unmodified).
   void solve(const Vec& b, Vec& x);
 
   std::size_t n_blocks() const { return blocks_.size(); }

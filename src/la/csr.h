@@ -105,6 +105,9 @@ public:
   /// Max |j - i| over stored entries: matrix bandwidth.
   std::size_t bandwidth() const;
 
+  /// No NaN/±Inf among the stored values (the paranoid-mode Jacobian audit).
+  bool all_finite() const { return la::all_finite(values()); }
+
 private:
   std::size_t rows_ = 0, cols_ = 0;
   std::vector<std::int32_t> rowptr_;

@@ -35,7 +35,15 @@ GmresResult gmres_solve(const CsrMatrix& a, const Vec& b, Vec& x, const GmresOpt
   r.axpby(1.0, b, -1.0); // r = b - Ax
   precond(r);
   double beta = r.norm2();
+  if (!std::isfinite(beta)) {
+    // Poisoned inputs: leave x exactly as given (finite, defined) instead of
+    // running Arnoldi on NaNs.
+    result.breakdown = true;
+    result.residual_norm = beta;
+    return result;
+  }
   const double target = std::max(opts.atol, opts.rtol * (beta > 0 ? beta : 1.0));
+  Vec x_checkpoint = x; // last finite iterate, restored on breakdown
 
   while (result.iterations < opts.max_iterations) {
     if (beta <= target) {
@@ -93,6 +101,15 @@ GmresResult gmres_solve(const CsrMatrix& a, const Vec& b, Vec& x, const GmresOpt
     r.axpby(1.0, b, -1.0);
     precond(r);
     beta = r.norm2();
+    if (!std::isfinite(beta) || !x.all_finite()) {
+      // Breakdown mid-solve (e.g. an exactly-singular projected system): roll
+      // x back to the last finite iterate so the caller never sees NaNs.
+      x = x_checkpoint;
+      result.breakdown = true;
+      result.residual_norm = beta;
+      return result;
+    }
+    x_checkpoint = x;
     if (beta <= target) {
       result.converged = true;
       break;

@@ -21,11 +21,21 @@ struct GmresOptions {
 
 struct GmresResult {
   bool converged = false;
+  /// Non-finite arithmetic was encountered (NaN/Inf in the matrix, rhs, or an
+  /// intermediate); x was restored to the last finite iterate.
+  bool breakdown = false;
   int iterations = 0;
   double residual_norm = 0.0;
 };
 
 /// Solve A x = b; x is both the initial guess and the result.
+///
+/// Failure contract: on a stalled solve (converged = false) x holds the best
+/// iterate reached; on non-finite breakdown (breakdown = true) x is restored
+/// to the last finite iterate — the initial guess if the very first residual
+/// is already non-finite — so the output vector is finite and defined through
+/// every failure path. b and x must not alias (the Arnoldi recurrence reads b
+/// at every restart).
 GmresResult gmres_solve(const CsrMatrix& a, const Vec& b, Vec& x,
                         const GmresOptions& opts = {});
 

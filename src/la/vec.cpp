@@ -4,6 +4,17 @@
 
 namespace landau::la {
 
+bool all_finite(std::span<const double> v) {
+  constexpr std::size_t chunk = 4096;
+  for (std::size_t start = 0; start < v.size(); start += chunk) {
+    const std::size_t end = std::min(start + chunk, v.size());
+    double acc = 0.0;
+    for (std::size_t i = start; i < end; ++i) acc += v[i] * 0.0;
+    if (!(acc == 0.0)) return false;
+  }
+  return true;
+}
+
 void Vec::axpy(double a, const Vec& x) {
   LANDAU_ASSERT(x.size() == size(), "axpy size mismatch " << x.size() << " vs " << size());
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += a * x[i];

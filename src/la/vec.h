@@ -11,6 +11,12 @@
 
 namespace landau::la {
 
+/// True iff every entry is finite (no NaN, no ±Inf). Branch-free inner scan
+/// (x * 0.0 is 0 for finite x and NaN otherwise, so a chunk's accumulated sum
+/// is 0 iff the chunk is clean) — auto-vectorizable — with an early exit
+/// between chunks so a poisoned prefix of a large vector fails fast.
+bool all_finite(std::span<const double> v);
+
 /// Owning dense vector of doubles.
 class Vec {
 public:
@@ -50,6 +56,8 @@ public:
   double norm2() const { return std::sqrt(dot(*this)); }
   double norm_inf() const;
   double sum() const;
+  /// No NaN/±Inf entries (the step controller's state/residual guard).
+  bool all_finite() const { return la::all_finite(span()); }
 
 private:
   std::vector<double> data_;

@@ -1,9 +1,11 @@
 #include "solver/implicit.h"
 
 #include <cmath>
+#include <limits>
 
 #include "util/logging.h"
 #include "util/profiler.h"
+#include "util/robustness.h"
 
 namespace landau {
 
@@ -30,7 +32,20 @@ void ImplicitIntegrator::invalidate_if_structure_changed(const la::CsrMatrix& jm
 
 void ImplicitIntegrator::factor_and_solve(const la::CsrMatrix& jmat, const la::Vec& rhs,
                                           la::Vec& x) {
+  // Defined-output contract: x is zeroed up front, so if the factorization or
+  // solve throws, the caller's update vector holds zeros (a no-op Newton
+  // update), never a stale or partial solution.
+  x.zero();
+  auto& fault = FaultInjector::instance();
+  if (fault.armed() && fault.fire(FaultKind::Throw, "factor"))
+    LANDAU_THROW("injected fault: linear solver factorization failure");
+  if (robustness().paranoid)
+    LANDAU_ASSERT(jmat.all_finite(), "paranoid: non-finite entries in the Newton matrix");
   invalidate_if_structure_changed(jmat);
+  auto fire_solve_fault = [&fault] {
+    if (fault.armed() && fault.fire(FaultKind::Throw, "solve"))
+      LANDAU_THROW("injected fault: triangular solve failure");
+  };
   switch (linear_) {
     case LinearSolverKind::BandLU: {
       if (!band_.analyzed()) {
@@ -43,6 +58,7 @@ void ImplicitIntegrator::factor_and_solve(const la::CsrMatrix& jmat, const la::V
         band_.factor(jmat);
       }
       ScopedEvent ev("landau:solve");
+      fire_solve_fault();
       band_.solve(rhs, x);
       break;
     }
@@ -54,6 +70,7 @@ void ImplicitIntegrator::factor_and_solve(const la::CsrMatrix& jmat, const la::V
         device_band_->factor(jmat);
       }
       ScopedEvent ev("landau:solve");
+      fire_solve_fault();
       device_band_->solve(rhs, x);
       break;
     }
@@ -64,6 +81,7 @@ void ImplicitIntegrator::factor_and_solve(const la::CsrMatrix& jmat, const la::V
         lu = std::make_unique<la::DenseLU>(jmat.to_dense());
       }
       ScopedEvent ev2("landau:solve");
+      fire_solve_fault();
       lu->solve(rhs, x);
       break;
     }
@@ -86,6 +104,8 @@ void ImplicitIntegrator::factor_and_solve(const la::CsrMatrix& jmat, const la::V
 
 StepStats ImplicitIntegrator::step(la::Vec& f, double dt, double e_z, const la::Vec* source) {
   ScopedEvent ev("landau:step");
+  auto& fault = FaultInjector::instance();
+  fault.begin_attempt();
   const std::size_t n = op_.n_total();
   LANDAU_ASSERT(f.size() == n, "state size mismatch");
   if (cmat_.rows() != n) {
@@ -122,6 +142,26 @@ StepStats ImplicitIntegrator::step(la::Vec& f, double dt, double e_z, const la::
   StepStats stats;
   double r0 = -1.0;
 
+  if (fault.armed()) {
+    // Injected terminal outcomes, emulated cheaply at the step boundary: a
+    // diverged Newton leaves a perturbed state and converged = false; a
+    // stagnated one leaves the state untouched (the update stalled) with
+    // stagnated = true. Both are consumed one-shot, so a controller retry of
+    // the same physical step re-runs clean.
+    if (fault.fire(FaultKind::NewtonDiverge, "newton")) {
+      f.scale(1.5);
+      stats.newton_iterations = nopts_.max_iterations;
+      stats.residual_norm = 1e300;
+      return stats;
+    }
+    if (fault.fire(FaultKind::Stagnate, "newton")) {
+      stats.newton_iterations = 1;
+      stats.stagnated = true;
+      stats.residual_norm = std::max(nopts_.atol, nopts_.rtol) * 10.0;
+      return stats;
+    }
+  }
+
   for (int it = 0; it < nopts_.max_iterations; ++it) {
     // Frozen-coefficient collision matrix about the current iterate.
     op_.pack(f);
@@ -137,8 +177,18 @@ StepStats ImplicitIntegrator::step(la::Vec& f, double dt, double e_z, const la::
     r.axpy(-dt * theta, tmp);
     if (theta < 1.0) r.axpy(-dt * (1.0 - theta), rhs_exp);
     if (source) r.axpy(-dt, msrc);
+    if (fault.armed() && fault.fire(FaultKind::Nan, "rhs"))
+      r[0] = std::numeric_limits<double>::quiet_NaN();
 
     stats.residual_norm = r.norm2();
+    if (!std::isfinite(stats.residual_norm)) {
+      // NaN/Inf in the residual: every further iterate would be poisoned, so
+      // abandon the step immediately and tell the caller to roll back.
+      stats.non_finite = true;
+      LANDAU_WARN("Newton abandoned at iteration " << it
+                                                   << ": non-finite residual norm");
+      return stats;
+    }
     if (r0 < 0) r0 = stats.residual_norm > 0 ? stats.residual_norm : 1.0;
     if (nopts_.verbose)
       LANDAU_INFO("newton " << it << " |G| = " << stats.residual_norm);
@@ -153,15 +203,26 @@ StepStats ImplicitIntegrator::step(la::Vec& f, double dt, double e_z, const la::
     jmat_.axpy(-dt * theta, cmat_);
     factor_and_solve(jmat_, r, delta);
     f.axpy(-1.0, delta);
+    if (fault.armed() && fault.fire(FaultKind::Nan, "state"))
+      f[0] = std::numeric_limits<double>::quiet_NaN();
     ++stats.newton_iterations;
     ++newton_count_;
+
+    const double delta_norm = delta.norm2();
+    const double f_norm = f.norm2();
+    if (!std::isfinite(delta_norm) || !std::isfinite(f_norm)) {
+      stats.non_finite = true;
+      LANDAU_WARN("Newton abandoned at iteration " << it
+                                                   << ": non-finite update or state");
+      return stats;
+    }
 
     // Stagnation exit: once the update is negligible relative to the state,
     // the quasi-Newton iteration has hit its roundoff floor — further
     // iterations only burn Jacobian builds (PETSc's snes_stol analog). The
     // step is accepted, but |G| never met atol/rtol, so converged stays
     // false: quench runs must not silently treat a stalled step as solved.
-    if (delta.norm2() <= 1e-12 * std::max(1.0, f.norm2())) {
+    if (delta_norm <= 1e-12 * std::max(1.0, f_norm)) {
       stats.stagnated = true;
       LANDAU_WARN("Newton stagnated after " << stats.newton_iterations
                                             << " iterations: |delta| at roundoff floor with |G| = "
@@ -170,7 +231,7 @@ StepStats ImplicitIntegrator::step(la::Vec& f, double dt, double e_z, const la::
       break;
     }
   }
-  if (!stats.converged && !stats.stagnated)
+  if (!stats.converged && !stats.stagnated && !stats.non_finite)
     LANDAU_WARN("Newton did not converge: |G| = " << stats.residual_norm << " after "
                                                   << stats.newton_iterations << " iterations");
   return stats;

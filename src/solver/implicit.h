@@ -57,6 +57,10 @@ struct StepStats {
   /// The update stalled at the quasi-Newton roundoff floor before |G| met
   /// the tolerance: the step was accepted, but converged stays honest.
   bool stagnated = false;
+  /// A NaN/Inf appeared in the residual or the Newton update: the iteration
+  /// was abandoned immediately and f may be poisoned — callers (the step
+  /// controller) must roll back to their pre-step snapshot.
+  bool non_finite = false;
   double residual_norm = 0.0;
 };
 

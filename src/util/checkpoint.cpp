@@ -1,0 +1,152 @@
+#include "util/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "util/error.h"
+
+namespace landau::util {
+
+namespace {
+
+constexpr char kMagic[4] = {'L', 'N', 'D', 'C'};
+
+std::uint64_t fnv1a64(const unsigned char* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+template <class T> void append_raw(std::vector<unsigned char>& buf, const T& v) {
+  const auto* p = reinterpret_cast<const unsigned char*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <class T> T read_raw(const unsigned char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+} // namespace
+
+void CheckpointWriter::put_f64(double v) {
+  buf_.push_back('d');
+  append_raw(buf_, v);
+}
+
+void CheckpointWriter::put_i64(std::int64_t v) {
+  buf_.push_back('i');
+  append_raw(buf_, v);
+}
+
+void CheckpointWriter::put_vec(std::span<const double> v) {
+  buf_.push_back('v');
+  append_raw(buf_, static_cast<std::uint64_t>(v.size()));
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  buf_.insert(buf_.end(), p, p + v.size() * sizeof(double));
+}
+
+void CheckpointWriter::save(const std::string& path) const {
+  std::vector<unsigned char> header;
+  header.insert(header.end(), kMagic, kMagic + 4);
+  append_raw(header, kCheckpointVersion);
+  append_raw(header, static_cast<std::uint64_t>(buf_.size()));
+  append_raw(header, fnv1a64(buf_.data(), buf_.size()));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* fp = std::fopen(tmp.c_str(), "wb");
+  if (!fp) LANDAU_THROW("checkpoint: cannot open '" << tmp << "' for writing");
+  const bool ok = std::fwrite(header.data(), 1, header.size(), fp) == header.size() &&
+                  (buf_.empty() || std::fwrite(buf_.data(), 1, buf_.size(), fp) == buf_.size());
+  const bool closed = std::fclose(fp) == 0;
+  if (!ok || !closed) {
+    std::remove(tmp.c_str());
+    LANDAU_THROW("checkpoint: short write to '" << tmp << "'");
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    LANDAU_THROW("checkpoint: rename '" << tmp << "' -> '" << path << "' failed: "
+                                        << ec.message());
+  }
+}
+
+CheckpointReader::CheckpointReader(const std::string& path) : path_(path) {
+  std::FILE* fp = std::fopen(path.c_str(), "rb");
+  if (!fp) LANDAU_THROW("checkpoint: cannot open '" << path << "'");
+  unsigned char header[4 + 4 + 8 + 8];
+  if (std::fread(header, 1, sizeof(header), fp) != sizeof(header)) {
+    std::fclose(fp);
+    LANDAU_THROW("checkpoint '" << path << "': truncated header");
+  }
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    std::fclose(fp);
+    LANDAU_THROW("checkpoint '" << path << "': bad magic (not a checkpoint file)");
+  }
+  const auto version = read_raw<std::uint32_t>(header + 4);
+  if (version != kCheckpointVersion) {
+    std::fclose(fp);
+    LANDAU_THROW("checkpoint '" << path << "': version " << version << ", expected "
+                                << kCheckpointVersion);
+  }
+  const auto payload = read_raw<std::uint64_t>(header + 8);
+  const auto checksum = read_raw<std::uint64_t>(header + 16);
+  buf_.resize(payload);
+  const bool ok = buf_.empty() || std::fread(buf_.data(), 1, buf_.size(), fp) == buf_.size();
+  std::fclose(fp);
+  if (!ok) LANDAU_THROW("checkpoint '" << path << "': truncated payload");
+  if (fnv1a64(buf_.data(), buf_.size()) != checksum)
+    LANDAU_THROW("checkpoint '" << path << "': checksum mismatch (corrupt or torn write)");
+}
+
+void CheckpointReader::need(std::size_t bytes, const char* what) {
+  if (pos_ + bytes > buf_.size())
+    LANDAU_THROW("checkpoint '" << path_ << "': payload exhausted reading " << what);
+}
+
+double CheckpointReader::get_f64() {
+  need(1 + sizeof(double), "double");
+  if (buf_[pos_] != 'd')
+    LANDAU_THROW("checkpoint '" << path_ << "': expected double, found tag '"
+                                << static_cast<char>(buf_[pos_]) << "'");
+  const double v = read_raw<double>(buf_.data() + pos_ + 1);
+  pos_ += 1 + sizeof(double);
+  return v;
+}
+
+std::int64_t CheckpointReader::get_i64() {
+  need(1 + sizeof(std::int64_t), "int64");
+  if (buf_[pos_] != 'i')
+    LANDAU_THROW("checkpoint '" << path_ << "': expected int64, found tag '"
+                                << static_cast<char>(buf_[pos_]) << "'");
+  const auto v = read_raw<std::int64_t>(buf_.data() + pos_ + 1);
+  pos_ += 1 + sizeof(std::int64_t);
+  return v;
+}
+
+la::Vec CheckpointReader::get_vec() {
+  need(1 + sizeof(std::uint64_t), "vector header");
+  if (buf_[pos_] != 'v')
+    LANDAU_THROW("checkpoint '" << path_ << "': expected vector, found tag '"
+                                << static_cast<char>(buf_[pos_]) << "'");
+  const auto n = read_raw<std::uint64_t>(buf_.data() + pos_ + 1);
+  pos_ += 1 + sizeof(std::uint64_t);
+  need(n * sizeof(double), "vector data");
+  la::Vec v(n);
+  std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(double));
+  pos_ += n * sizeof(double);
+  return v;
+}
+
+bool checkpoint_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::exists(path, ec) && !ec;
+}
+
+} // namespace landau::util

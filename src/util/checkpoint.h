@@ -1,0 +1,72 @@
+#pragma once
+// Versioned binary checkpoint files for mid-scenario restart (the quench
+// driver's kill-safe save points). Format:
+//
+//   header   "LNDC" (4 bytes) | u32 version | u64 payload bytes
+//          | u64 FNV-1a-64 checksum of the payload
+//   payload  a sequence of tagged fields, each a 1-byte type tag followed by
+//            little-endian data:
+//              'd'  double (8 bytes)
+//              'i'  int64  (8 bytes)
+//              'v'  vector: u64 length then length doubles
+//
+// The reader verifies magic, version and checksum up front, so a torn or
+// corrupted file fails loudly before any field is consumed, and every get_*
+// checks its type tag — a schema drift between writer and reader throws
+// instead of silently misreading. save() writes to "<path>.tmp" and renames,
+// so a crash mid-write leaves the previous checkpoint intact (rename is
+// atomic on POSIX filesystems).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "la/vec.h"
+
+namespace landau::util {
+
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Append-only typed buffer; save() adds the header and writes atomically.
+class CheckpointWriter {
+public:
+  void put_f64(double v);
+  void put_i64(std::int64_t v);
+  void put_vec(std::span<const double> v);
+
+  std::size_t payload_bytes() const { return buf_.size(); }
+
+  /// Write header + payload to path via temp-file + rename. Throws
+  /// landau::Error on any I/O failure.
+  void save(const std::string& path) const;
+
+private:
+  std::vector<unsigned char> buf_;
+};
+
+/// Loads and validates a checkpoint file, then hands out fields in order.
+class CheckpointReader {
+public:
+  /// Throws landau::Error on missing file, bad magic, version mismatch,
+  /// truncation, or checksum failure.
+  explicit CheckpointReader(const std::string& path);
+
+  double get_f64();
+  std::int64_t get_i64();
+  la::Vec get_vec();
+
+  /// All payload bytes consumed.
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+private:
+  void need(std::size_t bytes, const char* what);
+
+  std::vector<unsigned char> buf_; // payload only (header already validated)
+  std::size_t pos_ = 0;
+  std::string path_;
+};
+
+bool checkpoint_exists(const std::string& path);
+
+} // namespace landau::util

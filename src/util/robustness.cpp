@@ -1,0 +1,107 @@
+#include "util/robustness.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+#include "util/logging.h"
+
+namespace landau {
+
+RobustnessOptions& robustness() {
+  static RobustnessOptions opts;
+  return opts;
+}
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::NewtonDiverge: return "newton_diverge";
+    case FaultKind::Stagnate: return "stagnate";
+    case FaultKind::Nan: return "nan";
+    case FaultKind::Throw: return "throw";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector inj;
+  return inj;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("LANDAU_FAULT_SPEC"); env && *env) configure(env);
+}
+
+void FaultInjector::clear() {
+  specs_.clear();
+  attempt_ = -1;
+  fired_ = 0;
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+} // namespace
+
+void FaultInjector::configure(const std::string& spec) {
+  clear();
+  if (spec.empty()) return;
+  for (const std::string& entry : split(spec, ',')) {
+    if (entry.empty()) continue;
+    Spec f;
+    bool have_kind = false, have_step = false;
+    for (const std::string& tok : split(entry, '@')) {
+      if (tok.rfind("step=", 0) == 0) {
+        char* end = nullptr;
+        f.step = std::strtol(tok.c_str() + 5, &end, 10);
+        if (!end || *end != '\0' || f.step < 0)
+          LANDAU_THROW("fault spec '" << entry << "': bad step in '" << tok << "'");
+        have_step = true;
+      } else if (!have_kind) {
+        if (tok == "newton_diverge") f.kind = FaultKind::NewtonDiverge;
+        else if (tok == "stagnate") f.kind = FaultKind::Stagnate;
+        else if (tok == "nan") f.kind = FaultKind::Nan;
+        else if (tok == "throw") f.kind = FaultKind::Throw;
+        else LANDAU_THROW("fault spec '" << entry << "': unknown kind '" << tok << "'");
+        have_kind = true;
+      } else if (f.site.empty()) {
+        f.site = tok;
+      } else {
+        LANDAU_THROW("fault spec '" << entry << "': unexpected token '" << tok << "'");
+      }
+    }
+    if (!have_kind) LANDAU_THROW("fault spec '" << entry << "': missing kind");
+    if (!have_step) LANDAU_THROW("fault spec '" << entry << "': missing step=N");
+    specs_.push_back(std::move(f));
+  }
+  if (!specs_.empty())
+    LANDAU_INFO("fault injector armed with " << specs_.size() << " fault(s): " << spec);
+}
+
+bool FaultInjector::fire(FaultKind kind, const char* site) {
+  for (Spec& f : specs_) {
+    if (f.fired || f.kind != kind || f.step != attempt_) continue;
+    if (!f.site.empty() && f.site != site) continue;
+    f.fired = true;
+    ++fired_;
+    LANDAU_WARN("fault injector: firing " << fault_kind_name(kind) << "@" << site << "@step="
+                                          << attempt_);
+    return true;
+  }
+  return false;
+}
+
+} // namespace landau

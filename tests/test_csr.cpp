@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <limits>
 #include <random>
 
 #include "la/csr.h"
@@ -39,6 +40,16 @@ TEST(Csr, PatternAndEntryLookup) {
   EXPECT_DOUBLE_EQ(a.get(2, 1), -1.0);
   EXPECT_DOUBLE_EQ(a.get(2, 4), 0.0); // outside pattern reads as zero
   EXPECT_THROW(a.add(0, 4, 1.0), landau::Error);
+}
+
+TEST(Csr, AllFiniteScansStoredValues) {
+  auto a = tridiag(6);
+  EXPECT_TRUE(a.all_finite());
+  a.add(3, 2, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(a.all_finite());
+  auto b = tridiag(6);
+  b.add(5, 5, std::numeric_limits<double>::infinity());
+  EXPECT_FALSE(b.all_finite());
 }
 
 TEST(Csr, MatVecMatchesDense) {

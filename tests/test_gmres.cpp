@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "la/gmres.h"
 
@@ -87,4 +88,41 @@ TEST(Gmres, ReportsNonConvergenceWithinBudget) {
   auto res = gmres_solve(a, b, x, opts);
   EXPECT_FALSE(res.converged);
   EXPECT_GT(res.residual_norm, 0.0);
+}
+
+TEST(Gmres, NanMatrixLeavesInitialGuessUntouched) {
+  // Failure contract: a non-finite initial residual reports breakdown and
+  // returns without touching x, so the caller's guess stays usable.
+  const std::size_t n = 10;
+  auto a = laplacian_1d(n);
+  a.add(4, 4, std::numeric_limits<double>::quiet_NaN());
+  Vec b(n, 1.0), x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = 0.25 * static_cast<double>(i);
+  const Vec x0 = x;
+  auto res = gmres_solve(a, b, x);
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(res.breakdown);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(x[i], x0[i]);
+}
+
+TEST(Gmres, NanRhsReportsBreakdownWithFiniteX) {
+  const std::size_t n = 10;
+  auto a = laplacian_1d(n);
+  Vec b(n, 1.0), x(n);
+  b[7] = std::numeric_limits<double>::quiet_NaN();
+  auto res = gmres_solve(a, b, x);
+  EXPECT_FALSE(res.converged);
+  EXPECT_TRUE(res.breakdown);
+  EXPECT_TRUE(x.all_finite()); // defined output even on failure
+}
+
+TEST(Gmres, CleanSolveReportsNoBreakdown) {
+  const std::size_t n = 20;
+  auto a = laplacian_1d(n);
+  Vec xref(n), b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) xref[i] = 1.0;
+  a.mult(xref, b);
+  auto res = gmres_solve(a, b, x);
+  EXPECT_TRUE(res.converged);
+  EXPECT_FALSE(res.breakdown);
 }

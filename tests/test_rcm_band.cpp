@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 
 #include "la/band.h"
@@ -138,6 +139,17 @@ TEST(Band, ZeroPivotThrows) {
   EXPECT_THROW(b.factor_lu(), landau::Error);
 }
 
+TEST(Band, NanPivotThrowsInsteadOfPropagating) {
+  // A NaN pivot fails every < comparison, so a naive |piv| < eps check lets
+  // it through and the factorization silently fills with NaNs; the negated
+  // check must throw instead.
+  BandMatrix b(3, 1, 1);
+  b.at(0, 0) = 1.0;
+  b.at(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  b.at(2, 2) = 1.0;
+  EXPECT_THROW(b.factor_lu(), landau::Error);
+}
+
 TEST(Band, FromCsrRejectsCrossBlockCoupling) {
   // Extracting a block range that truncates couplings must be caught, not
   // silently dropped.
@@ -192,6 +204,42 @@ TEST(BlockBandSolver, RefactorWithNewValuesSamePattern) {
   a.mult(xref, b);
   solver.solve(b, x);
   for (std::size_t i = 0; i < 45; ++i) EXPECT_NEAR(x[i], xref[i], 1e-11);
+}
+
+TEST(BlockBandSolver, SolveWithAliasedOutputMatchesSeparateOutput) {
+  // Documented contract: solve(b, x) may be called with x aliasing b — every
+  // block gathers its rhs into private workspace before any result is
+  // scattered. The controller's retry path relies on this.
+  auto a = block_matrix(4, 17, 2, 41);
+  BlockBandSolver solver;
+  solver.analyze(a);
+  solver.factor(a);
+  const std::size_t n = 4 * 17;
+  Vec b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = std::cos(0.3 * static_cast<double>(i));
+  solver.solve(b, x);
+  Vec inplace = b;
+  solver.solve(inplace, inplace);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(inplace[i], x[i]);
+}
+
+TEST(BlockBandSolver, NanMatrixFactorThrowsAndRefactorRecovers) {
+  auto a = block_matrix(3, 11, 1, 53);
+  BlockBandSolver solver;
+  solver.analyze(a);
+
+  auto poisoned = a;
+  poisoned.values()[poisoned.values().size() / 2] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(solver.factor(poisoned), landau::Error);
+
+  // The solver object must stay usable: refactor with clean values and solve.
+  solver.factor(a);
+  const std::size_t n = 3 * 11;
+  Vec xref(n), b(n), x(n);
+  for (std::size_t i = 0; i < n; ++i) xref[i] = 1.0 + 0.1 * static_cast<double>(i);
+  a.mult(xref, b);
+  solver.solve(b, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xref[i], 1e-11);
 }
 
 TEST(BlockBandSolver, BandwidthReflectsRcm) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 
 #include "la/dense.h"
@@ -28,6 +29,38 @@ TEST(Vec, SizeMismatchThrows) {
   Vec x(3), y(4);
   EXPECT_THROW(y.axpy(1.0, x), landau::Error);
   EXPECT_THROW(y.dot(x), landau::Error);
+}
+
+TEST(Vec, AllFiniteDetectsEachNonFiniteKind) {
+  Vec x(7, 1.0);
+  EXPECT_TRUE(x.all_finite());
+  x[3] = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(x.all_finite());
+  x[3] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(x.all_finite());
+  x[3] = -std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(x.all_finite());
+  x[3] = -std::numeric_limits<double>::max(); // huge but finite
+  EXPECT_TRUE(x.all_finite());
+}
+
+TEST(Vec, AllFiniteEmptyAndSingleElement) {
+  Vec empty(0);
+  EXPECT_TRUE(empty.all_finite());
+  Vec one(1, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_FALSE(one.all_finite());
+}
+
+TEST(Vec, AllFiniteLargeVectorAnyPosition) {
+  // Larger than the scan's internal chunk, with the poison at the very start,
+  // mid-chunk, and the final element (the positions a chunked scan can miss).
+  const std::size_t n = 10000;
+  for (std::size_t pos : {std::size_t{0}, std::size_t{4097}, n - 1}) {
+    Vec x(n, 0.5);
+    EXPECT_TRUE(x.all_finite());
+    x[pos] = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(x.all_finite()) << "NaN at " << pos << " missed";
+  }
 }
 
 TEST(Dense, MatVec) {
