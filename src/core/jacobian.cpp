@@ -59,14 +59,17 @@ la::SparsityPattern landau_jacobian_sparsity(const fem::FESpace& fes, int n_spec
 namespace detail {
 
 void assemble_element(const JacobianContext& ctx, std::size_t cell, const ElementMatrices& ce,
-                      la::CsrMatrix& j) {
+                      la::CsrMatrix& j, const exec::check::checked_span<double>* chk) {
+  using exec::check::Kind;
+  const bool checked = chk && chk->active();
   const auto& dm = ctx.fes->dofmap();
   const auto nodes = dm.cell_nodes(cell);
   const int nb = ce.nb;
   if (ctx.coo_values) {
     // COO sink: stream every (closure-expanded) element value into this
     // cell's fixed slot range — disjoint per cell, so no atomics are needed.
-    double* out = ctx.coo_values->data() + (*ctx.coo_cell_offsets)[cell];
+    const std::size_t base = (*ctx.coo_cell_offsets)[cell];
+    double* out = ctx.coo_values->data() + base;
     std::size_t k = 0;
     LANDAU_ASSERT(!ctx.grid_species, "COO assembly supports single-grid operators only");
     for (int s = 0; s < ce.n_species; ++s)
@@ -79,6 +82,7 @@ void assemble_element(const JacobianContext& ctx, std::size_t cell, const Elemen
             (void)di;
             for (const auto& [dj, wj] : cb) {
               (void)dj;
+              if (checked) chk->note(base + k, Kind::Write);
               out[k++] = wi * wj * v;
             }
           }
@@ -98,12 +102,14 @@ void assemble_element(const JacobianContext& ctx, std::size_t cell, const Elemen
         for (const auto& [di, wi] : ca)
           for (const auto& [dj, wj] : cb) {
             const double contrib = wi * wj * v;
+            const std::size_t gi = off + static_cast<std::size_t>(di);
+            const std::size_t gj = off + static_cast<std::size_t>(dj);
             if (ctx.atomic_assembly)
-              j.add_atomic(off + static_cast<std::size_t>(di), off + static_cast<std::size_t>(dj),
-                           contrib);
+              j.add_atomic(gi, gj, contrib);
             else
-              j.add(off + static_cast<std::size_t>(di), off + static_cast<std::size_t>(dj),
-                    contrib);
+              j.add(gi, gj, contrib);
+            if (checked)
+              chk->note(j.entry_index(gi, gj), ctx.atomic_assembly ? Kind::Atomic : Kind::Write);
           }
       }
     }
@@ -181,14 +187,28 @@ void assemble_mass_kernel(exec::ThreadPool& pool, const JacobianContext& ctx, do
   // C <- Transform&Assemble(w[gip]*s, 0, 0, B, 0): pure FE + sparse assembly,
   // the memory-bound contrast case of the paper's roofline study (Table IV).
   ScopedEvent ev("landau:mass-kernel");
+  namespace check = exec::check;
   const auto& fes = *ctx.fes;
   const auto& tab = fes.tabulation();
   const int nq = tab.n_quad();
   const int nb = tab.n_basis();
   const int ns = ctx.species->size();
 
-  pool.parallel_for(fes.n_cells(), [&](std::size_t cell) {
+  // Device-checker scope: one "block" per cell (the kernel is block-uniform —
+  // no intra-block thread structure), with the packed weights as input and
+  // the value array as the concurrently-assembled output.
+  check::KernelScope chk("landau:mass-kernel");
+  auto wref = chk.in(std::span<const double>(ctx.ip->w), "ip.w");
+  auto oref = ctx.coo_values ? chk.out(std::span<double>(*ctx.coo_values), "coo.values")
+                             : chk.out(j.values(), "csr.values");
+
+  check::run_grid(pool, fes.n_cells(), &chk, counters, [&](std::size_t cell) {
     exec::CounterScope scope(counters);
+    check::ThreadCtx tc;
+    tc.session = chk.session();
+    tc.block = static_cast<int>(cell);
+    check::checked_span<const double> wv(wref, &tc);
+    check::checked_span<double> ov(oref, &tc);
     detail::ElementMatrices ce;
     ce.resize(1, nb);
     const std::size_t ip0 = ctx.ip_offset + cell * static_cast<std::size_t>(nq);
@@ -196,8 +216,8 @@ void assemble_mass_kernel(exec::ThreadPool& pool, const JacobianContext& ctx, do
     scope.dram(nq * 8);
     for (int q = 0; q < nq; ++q) {
       // Packed weight is qw * detJ * r; the axisymmetric measure adds 2 pi.
-      const double wq = 2.0 * 3.14159265358979323846 *
-                        ctx.ip->w[ip0 + static_cast<std::size_t>(q)] * shift;
+      const double wq =
+          2.0 * 3.14159265358979323846 * wv[ip0 + static_cast<std::size_t>(q)] * shift;
       for (int a = 0; a < nb; ++a)
         for (int b = 0; b < nb; ++b) ce.at(0, a, b) += wq * tab.B(q, a) * tab.B(q, b);
       scope.flops(3 * nb * nb);
@@ -209,8 +229,9 @@ void assemble_mass_kernel(exec::ThreadPool& pool, const JacobianContext& ctx, do
       for (int a = 0; a < nb; ++a)
         for (int b = 0; b < nb; ++b) all.at(s, a, b) = ce.at(0, a, b);
     scope.dram(static_cast<std::int64_t>(ns) * nb * nb * 8 * 2); // write + RMW traffic
-    detail::assemble_element(ctx, cell, all, j);
+    detail::assemble_element(ctx, cell, all, j, ov.active() ? &ov : nullptr);
   });
+  chk.finish();
 }
 
 } // namespace landau

@@ -23,6 +23,7 @@
 
 #include "core/ip_data.h"
 #include "core/species.h"
+#include "exec/check.h"
 #include "exec/counters.h"
 #include "exec/thread_pool.h"
 #include "fem/fespace.h"
@@ -126,9 +127,13 @@ struct ElementMatrices {
   }
 };
 
-/// Scatter one cell's element matrices into the global block matrix.
+/// Scatter one cell's element matrices into the global block matrix. When the
+/// device checker is active, `chk` is the caller's checked view of the output
+/// value array (CSR values or the COO sink) bound to the executing block, and
+/// every scattered entry is recorded as a plain or atomic device write.
 void assemble_element(const JacobianContext& ctx, std::size_t cell, const ElementMatrices& ce,
-                      la::CsrMatrix& j);
+                      la::CsrMatrix& j,
+                      const exec::check::checked_span<double>* chk = nullptr);
 
 } // namespace detail
 } // namespace landau

@@ -18,11 +18,31 @@ void landau_kernel_cpu(const JacobianContext& ctx, la::CsrMatrix& j,
   const int ns = ctx.species->size();
   const std::size_t n = ip.n;
 
+  // Device-checker scope: the serial kernel is one "block" per cell with no
+  // concurrency at all, so only bounds and initialization rules apply
+  // (concurrent_blocks = false disables the inter-block race rule).
+  namespace check = exec::check;
+  check::KernelScope chk("landau:jacobian-cpu", /*concurrent_blocks=*/false);
+  auto ref_r = chk.in(std::span<const double>(ip.r), "ip.r");
+  auto ref_z = chk.in(std::span<const double>(ip.z), "ip.z");
+  auto ref_w = chk.in(std::span<const double>(ip.w), "ip.w");
+  auto ref_f = chk.in(std::span<const double>(ip.f), "ip.f");
+  auto ref_dfr = chk.in(std::span<const double>(ip.dfr), "ip.dfr");
+  auto ref_dfz = chk.in(std::span<const double>(ip.dfz), "ip.dfz");
+  auto ref_out = ctx.coo_values ? chk.out(std::span<double>(*ctx.coo_values), "coo.values")
+                                : chk.out(j.values(), "csr.values");
+  check::ThreadCtx tc;
+  tc.session = chk.session();
+  check::checked_span<const double> gr(ref_r, &tc), gz(ref_z, &tc), gw(ref_w, &tc);
+  check::checked_span<const double> gf(ref_f, &tc), gdfr(ref_dfr, &tc), gdfz(ref_dfz, &tc);
+  check::checked_span<double> gout(ref_out, &tc);
+
   ElementMatrices ce;
   std::vector<PointCoeffs> coeffs(static_cast<std::size_t>(ns) * nq);
 
   for (std::size_t cell = 0; cell < fes.n_cells(); ++cell) {
     exec::CounterScope scope(counters);
+    tc.block = static_cast<int>(cell);
     const auto geom = fes.geometry(cell);
     ce.resize(ns, nb);
 
@@ -30,15 +50,18 @@ void landau_kernel_cpu(const JacobianContext& ctx, la::CsrMatrix& j,
       const std::size_t gi = ctx.ip_offset + cell * static_cast<std::size_t>(nq) + static_cast<std::size_t>(i);
       InnerAccum g;
       for (std::size_t jj = 0; jj < n; ++jj)
-        inner_point(ip.r[gi], ip.z[gi], ip.r[jj], ip.z[jj], ip.w[jj], &ip.f[jj], &ip.dfr[jj],
-                    &ip.dfz[jj], n, ns, ctx.q2.data(), ctx.q2_over_m.data(), &g);
+        inner_point(gr[gi], gz[gi], gr[jj], gz[jj], gw[jj],
+                    gf.read_strided(jj, static_cast<std::size_t>(ns), n),
+                    gdfr.read_strided(jj, static_cast<std::size_t>(ns), n),
+                    gdfz.read_strided(jj, static_cast<std::size_t>(ns), n), n, ns, ctx.q2.data(),
+                    ctx.q2_over_m.data(), &g);
       scope.flops(static_cast<std::int64_t>(n) * inner_flops(ns));
       scope.dram(static_cast<std::int64_t>(n) * (3 + 3 * ns) * 8);
       for (int a = 0; a < ns; ++a)
         coeffs[static_cast<std::size_t>(a * nq + i)] = transform_point(
             g, ctx.nu0, ctx.q2[static_cast<std::size_t>(a)],
             ctx.q2_over_m[static_cast<std::size_t>(a)], ctx.q2_over_m2[static_cast<std::size_t>(a)],
-            geom.jinv[0], geom.jinv[1], ip.w[gi]);
+            geom.jinv[0], geom.jinv[1], gw[gi]);
     }
 
     // Transform & Assemble (Algorithm 1 line 23): contract with the element
@@ -60,8 +83,9 @@ void landau_kernel_cpu(const JacobianContext& ctx, la::CsrMatrix& j,
     }
     scope.flops(static_cast<std::int64_t>(ns) * nq * nb * (8 + 5 * nb));
     scope.dram(static_cast<std::int64_t>(ns) * nb * nb * 8 * 2);
-    assemble_element(ctx, cell, ce, j);
+    assemble_element(ctx, cell, ce, j, gout.active() ? &gout : nullptr);
   }
+  chk.finish();
 }
 
 } // namespace landau::detail

@@ -30,6 +30,7 @@ constexpr int kTile = 128; // shared-memory staging tile (inner points)
 
 void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::CsrMatrix& j,
                         exec::KernelCounters* counters) {
+  namespace check = exec::check;
   const auto& fes = *ctx.fes;
   const auto& tab = fes.tabulation();
   const auto& ip = *ctx.ip;
@@ -39,6 +40,19 @@ void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::
   const std::size_t n = ip.n;
   const exec::Dim3 block{reduction_lanes(nq), nq, 1};
 
+  // Device-checker scope: register the packed IP arrays as inputs and the
+  // assembly target as the concurrently-written output. Inactive (and free)
+  // unless LANDAU_CHECK_DEVICE is on.
+  check::KernelScope chk("landau:jacobian-cuda");
+  auto ref_r = chk.in(std::span<const double>(ip.r), "ip.r");
+  auto ref_z = chk.in(std::span<const double>(ip.z), "ip.z");
+  auto ref_w = chk.in(std::span<const double>(ip.w), "ip.w");
+  auto ref_f = chk.in(std::span<const double>(ip.f), "ip.f");
+  auto ref_dfr = chk.in(std::span<const double>(ip.dfr), "ip.dfr");
+  auto ref_dfz = chk.in(std::span<const double>(ip.dfz), "ip.dfz");
+  auto ref_out = ctx.coo_values ? chk.out(std::span<double>(*ctx.coo_values), "coo.values")
+                                : chk.out(j.values(), "csr.values");
+
   exec::launch(
       pool, static_cast<int>(fes.n_cells()), block,
       [&](exec::Block& blk) {
@@ -47,18 +61,27 @@ void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::
         const auto geom = fes.geometry(cell);
         const int lanes = blk.block_dim().x;
 
+        // Global memory through this block's access identity.
+        auto gr = blk.view(ref_r);
+        auto gz = blk.view(ref_z);
+        auto gw = blk.view(ref_w);
+        auto gf = blk.view(ref_f);
+        auto gdfr = blk.view(ref_dfr);
+        auto gdfz = blk.view(ref_dfz);
+        auto gout = blk.view(ref_out);
+
         // Register file: each thread's partial (G_K, G_D).
-        auto regs = blk.registers<InnerAccum>();
+        auto regs = blk.registers<InnerAccum>("regs");
 
         // Shared memory: staging tiles and the per-(species, point) results.
-        auto tile_r = blk.shared<double>(kTile);
-        auto tile_z = blk.shared<double>(kTile);
-        auto tile_w = blk.shared<double>(kTile);
-        auto tile_f = blk.shared<double>(static_cast<std::size_t>(ns) * kTile);
-        auto tile_dfr = blk.shared<double>(static_cast<std::size_t>(ns) * kTile);
-        auto tile_dfz = blk.shared<double>(static_cast<std::size_t>(ns) * kTile);
-        auto kkdd = blk.shared<PointCoeffs>(static_cast<std::size_t>(ns) * nq);
-        auto ce = blk.shared<double>(static_cast<std::size_t>(ns) * nb * nb);
+        auto tile_r = blk.shared<double>(kTile, "tile_r");
+        auto tile_z = blk.shared<double>(kTile, "tile_z");
+        auto tile_w = blk.shared<double>(kTile, "tile_w");
+        auto tile_f = blk.shared<double>(static_cast<std::size_t>(ns) * kTile, "tile_f");
+        auto tile_dfr = blk.shared<double>(static_cast<std::size_t>(ns) * kTile, "tile_dfr");
+        auto tile_dfz = blk.shared<double>(static_cast<std::size_t>(ns) * kTile, "tile_dfz");
+        auto kkdd = blk.shared<PointCoeffs>(static_cast<std::size_t>(ns) * nq, "kkdd");
+        auto ce = blk.shared<double>(static_cast<std::size_t>(ns) * nb * nb, "ce");
 
         // Inner integral over all global points, tile by tile (lines 3-11).
         for (std::size_t j0 = 0; j0 < n; j0 += kTile) {
@@ -67,13 +90,14 @@ void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::
           blk.threads([&](exec::ThreadIdx t) {
             for (int k = t.flat; k < tn; k += blk.num_threads()) {
               const std::size_t gj = j0 + static_cast<std::size_t>(k);
-              tile_r[static_cast<std::size_t>(k)] = ip.r[gj];
-              tile_z[static_cast<std::size_t>(k)] = ip.z[gj];
-              tile_w[static_cast<std::size_t>(k)] = ip.w[gj];
+              tile_r[static_cast<std::size_t>(k)] = gr[gj];
+              tile_z[static_cast<std::size_t>(k)] = gz[gj];
+              tile_w[static_cast<std::size_t>(k)] = gw[gj];
               for (int s = 0; s < ns; ++s) {
-                tile_f[static_cast<std::size_t>(s * kTile + k)] = ip.f_at(s, gj);
-                tile_dfr[static_cast<std::size_t>(s * kTile + k)] = ip.dfr_at(s, gj);
-                tile_dfz[static_cast<std::size_t>(s * kTile + k)] = ip.dfz_at(s, gj);
+                const std::size_t sg = static_cast<std::size_t>(s) * n + gj;
+                tile_f[static_cast<std::size_t>(s * kTile + k)] = gf[sg];
+                tile_dfr[static_cast<std::size_t>(s * kTile + k)] = gdfr[sg];
+                tile_dfz[static_cast<std::size_t>(s * kTile + k)] = gdfz[sg];
               }
             }
           });
@@ -83,12 +107,15 @@ void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::
           blk.threads([&](exec::ThreadIdx t) {
             const std::size_t gi =
                 ctx.ip_offset + cell * static_cast<std::size_t>(nq) + static_cast<std::size_t>(t.y);
-            for (int k = t.x; k < tn; k += lanes)
-              inner_point(ip.r[gi], ip.z[gi], tile_r[static_cast<std::size_t>(k)],
-                          tile_z[static_cast<std::size_t>(k)], tile_w[static_cast<std::size_t>(k)],
-                          &tile_f[static_cast<std::size_t>(k)], &tile_dfr[static_cast<std::size_t>(k)],
-                          &tile_dfz[static_cast<std::size_t>(k)], kTile, ns, ctx.q2.data(),
-                          ctx.q2_over_m.data(), &regs[static_cast<std::size_t>(t.flat)]);
+            for (int k = t.x; k < tn; k += lanes) {
+              const auto sk = static_cast<std::size_t>(k);
+              inner_point(gr[gi], gz[gi], tile_r[sk], tile_z[sk], tile_w[sk],
+                          tile_f.read_strided(sk, static_cast<std::size_t>(ns), kTile),
+                          tile_dfr.read_strided(sk, static_cast<std::size_t>(ns), kTile),
+                          tile_dfz.read_strided(sk, static_cast<std::size_t>(ns), kTile), kTile, ns,
+                          ctx.q2.data(), ctx.q2_over_m.data(),
+                          regs.rw_ptr(static_cast<std::size_t>(t.flat)));
+            }
           });
           blk.sync();
           scope.flops(static_cast<std::int64_t>(tn) * nq * inner_flops(ns));
@@ -102,13 +129,14 @@ void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::
         blk.threads([&](exec::ThreadIdx t) {
           const std::size_t gi =
               ctx.ip_offset + cell * static_cast<std::size_t>(nq) + static_cast<std::size_t>(t.y);
-          const InnerAccum& g = regs[static_cast<std::size_t>(t.flat)]; // row-reduced value
+          // Row-reduced value: each thread reads its own register slot.
+          const InnerAccum& g = *regs.read_ptr(static_cast<std::size_t>(t.flat));
           for (int a = t.x; a < ns; a += lanes)
             kkdd[static_cast<std::size_t>(a * nq + t.y)] = transform_point(
                 g, ctx.nu0, ctx.q2[static_cast<std::size_t>(a)],
                 ctx.q2_over_m[static_cast<std::size_t>(a)],
                 ctx.q2_over_m2[static_cast<std::size_t>(a)], geom.jinv[0], geom.jinv[1],
-                ip.w[gi]);
+                gw[gi]);
         });
         blk.sync();
 
@@ -122,7 +150,7 @@ void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::
             const int b = item % nb;
             double acc = 0.0;
             for (int i = 0; i < nq; ++i) {
-              const auto& p = kkdd[static_cast<std::size_t>(a_sp * nq + i)];
+              const PointCoeffs& p = *kkdd.read_ptr(static_cast<std::size_t>(a_sp * nq + i));
               const double ear = tab.E(i, a, 0);
               const double eaz = tab.E(i, a, 1);
               acc += (ear * p.dd00 + eaz * p.dd01) * tab.E(i, b, 0) +
@@ -140,10 +168,12 @@ void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::
         ElementMatrices em;
         em.n_species = ns;
         em.nb = nb;
-        em.c.assign(ce.begin(), ce.end());
-        assemble_element(ctx, cell, em, j);
+        const double* cep = ce.read_all();
+        em.c.assign(cep, cep + ce.size());
+        assemble_element(ctx, cell, em, j, gout.active() ? &gout : nullptr);
       },
-      counters);
+      counters, &chk);
+  chk.finish();
 }
 
 } // namespace landau::detail

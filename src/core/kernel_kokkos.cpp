@@ -23,15 +23,37 @@ void landau_kernel_kokkos(exec::ThreadPool& pool, const JacobianContext& ctx, la
 
   const kk::TeamPolicy policy{static_cast<int>(fes.n_cells()), nq, 32};
 
-  kk::parallel_for(pool, policy, [&](kk::TeamMember& member) {
+  // Device-checker scope (see kernel_cuda.cpp; same buffers, same rules).
+  namespace check = exec::check;
+  check::KernelScope chk("landau:jacobian-kokkos");
+  auto ref_r = chk.in(std::span<const double>(ip.r), "ip.r");
+  auto ref_z = chk.in(std::span<const double>(ip.z), "ip.z");
+  auto ref_w = chk.in(std::span<const double>(ip.w), "ip.w");
+  auto ref_f = chk.in(std::span<const double>(ip.f), "ip.f");
+  auto ref_dfr = chk.in(std::span<const double>(ip.dfr), "ip.dfr");
+  auto ref_dfz = chk.in(std::span<const double>(ip.dfz), "ip.dfz");
+  auto ref_out = ctx.coo_values ? chk.out(std::span<double>(*ctx.coo_values), "coo.values")
+                                : chk.out(j.values(), "csr.values");
+
+  kk::parallel_for(
+      pool, policy,
+      [&](kk::TeamMember& member) {
     exec::CounterScope scope(counters);
     const auto cell = static_cast<std::size_t>(member.league_rank());
     const auto geom = fes.geometry(cell);
 
+    auto gr = member.view(ref_r);
+    auto gz = member.view(ref_z);
+    auto gw = member.view(ref_w);
+    auto gf = member.view(ref_f);
+    auto gdfr = member.view(ref_dfr);
+    auto gdfz = member.view(ref_dfz);
+    auto gout = member.view(ref_out);
+
     // Team scratch: variable-length shared arrays (no compile-time sizing,
     // unlike the CUDA version).
-    auto kkdd = member.team_scratch<PointCoeffs>(static_cast<std::size_t>(ns) * nq);
-    auto ce = member.team_scratch<double>(static_cast<std::size_t>(ns) * nb * nb);
+    auto kkdd = member.team_scratch<PointCoeffs>(static_cast<std::size_t>(ns) * nq, "kkdd");
+    auto ce = member.team_scratch<double>(static_cast<std::size_t>(ns) * nb * nb, "ce");
 
     // Integration points distributed over the team's threads.
     member.team_range(nq, [&](int i) {
@@ -41,16 +63,18 @@ void landau_kernel_kokkos(exec::ThreadPool& pool, const JacobianContext& ctx, la
           static_cast<int>(n),
           [&](int jj, InnerAccum& acc) {
             const auto sj = static_cast<std::size_t>(jj);
-            inner_point(ip.r[gi], ip.z[gi], ip.r[sj], ip.z[sj], ip.w[sj], &ip.f[sj],
-                        &ip.dfr[sj], &ip.dfz[sj], n, ns, ctx.q2.data(), ctx.q2_over_m.data(),
-                        &acc);
+            inner_point(gr[gi], gz[gi], gr[sj], gz[sj], gw[sj],
+                        gf.read_strided(sj, static_cast<std::size_t>(ns), n),
+                        gdfr.read_strided(sj, static_cast<std::size_t>(ns), n),
+                        gdfz.read_strided(sj, static_cast<std::size_t>(ns), n), n, ns,
+                        ctx.q2.data(), ctx.q2_over_m.data(), &acc);
           },
           g);
       for (int a = 0; a < ns; ++a)
         kkdd[static_cast<std::size_t>(a * nq + i)] = transform_point(
             g, ctx.nu0, ctx.q2[static_cast<std::size_t>(a)],
             ctx.q2_over_m[static_cast<std::size_t>(a)],
-            ctx.q2_over_m2[static_cast<std::size_t>(a)], geom.jinv[0], geom.jinv[1], ip.w[gi]);
+            ctx.q2_over_m2[static_cast<std::size_t>(a)], geom.jinv[0], geom.jinv[1], gw[gi]);
     });
     member.team_barrier();
     scope.flops(static_cast<std::int64_t>(n) * nq * inner_flops(ns));
@@ -64,7 +88,7 @@ void landau_kernel_kokkos(exec::ThreadPool& pool, const JacobianContext& ctx, la
       member.vector_range(nb, [&](int b) {
         double acc = 0.0;
         for (int i = 0; i < nq; ++i) {
-          const auto& p = kkdd[static_cast<std::size_t>(a_sp * nq + i)];
+          const PointCoeffs& p = *kkdd.read_ptr(static_cast<std::size_t>(a_sp * nq + i));
           const double ear = tab.E(i, a, 0);
           const double eaz = tab.E(i, a, 1);
           acc += (ear * p.dd00 + eaz * p.dd01) * tab.E(i, b, 0) +
@@ -81,9 +105,12 @@ void landau_kernel_kokkos(exec::ThreadPool& pool, const JacobianContext& ctx, la
     ElementMatrices em;
     em.n_species = ns;
     em.nb = nb;
-    em.c.assign(ce.begin(), ce.end());
-    assemble_element(ctx, cell, em, j);
-  });
+    const double* cep = ce.read_all();
+    em.c.assign(cep, cep + ce.size());
+    assemble_element(ctx, cell, em, j, gout.active() ? &gout : nullptr);
+      },
+      &chk);
+  chk.finish();
 }
 
 } // namespace landau::detail

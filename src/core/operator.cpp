@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/advection.h"
+#include "exec/check.h"
 #include "util/logging.h"
 #include "util/profiler.h"
 #include "util/robustness.h"
@@ -44,6 +45,16 @@ LandauOptions LandauOptions::from_options(Options& opts) {
     o.backend = Backend::CudaSim;
   o.n_workers = static_cast<unsigned>(opts.get<int>("landau_workers", 0, "emulated SM workers"));
   o.atomic_assembly = opts.get<bool>("landau_atomic_assembly", true, "GPU-style atomic assembly");
+  // Device memory-model checker switches (also reachable via the
+  // LANDAU_CHECK_DEVICE environment variable; the command line wins).
+  auto& chk = exec::check::options();
+  chk.enabled =
+      opts.get<bool>("landau_check_device", chk.enabled, "device memory-model checker");
+  chk.strict = opts.get<bool>("landau_check_strict", chk.strict,
+                              "checker strict mode: any report throws");
+  chk.shuffle = opts.get<bool>("landau_check_shuffle", chk.shuffle,
+                               "double-run launches with shuffled block order and diff");
+  if (chk.strict || chk.shuffle) chk.enabled = true;
   return o;
 }
 

@@ -3,9 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/check.h"
+
 namespace landau::fem {
 
-double eval_point(const FESpace& space, std::span<const double> dofs, double r, double z) {
+namespace {
+
+/// Shared body of eval_point: SpanLike is std::span<const double> or the
+/// device checker's instrumented checked_span view of the source dofs.
+template <class SpanLike>
+double eval_point_impl(const FESpace& space, const SpanLike& dofs, double r, double z) {
   const int cell = space.forest().find_point(r, z);
   if (cell < 0) return 0.0;
   const auto g = space.geometry(static_cast<std::size_t>(cell));
@@ -27,10 +34,27 @@ double eval_point(const FESpace& space, std::span<const double> dofs, double r, 
   return v;
 }
 
+} // namespace
+
+double eval_point(const FESpace& space, std::span<const double> dofs, double r, double z) {
+  return eval_point_impl(space, dofs, r, z);
+}
+
 la::Vec transfer(const FESpace& from, std::span<const double> dofs, const FESpace& to) {
   LANDAU_ASSERT(dofs.size() == from.n_dofs(), "transfer: source dof count mismatch");
-  return to.interpolate(
-      [&](double r, double z) { return eval_point(from, dofs, r, z); });
+  // Multigrid transfer under the device checker: a serial pseudo-kernel that
+  // validates every gather from the source grid's dof array (bounds and
+  // initialization; there is no concurrency to race).
+  namespace check = exec::check;
+  check::KernelScope chk("fem:transfer", /*concurrent_blocks=*/false);
+  auto ref = chk.in(dofs, "transfer.src");
+  check::ThreadCtx tc;
+  tc.session = chk.session();
+  check::checked_span<const double> src(ref, &tc);
+  la::Vec out = to.interpolate(
+      [&](double r, double z) { return eval_point_impl(from, src, r, z); });
+  chk.finish();
+  return out;
 }
 
 std::function<bool(const mesh::Box&, int)> gradient_indicator(const FESpace& space,

@@ -11,12 +11,25 @@ namespace landau::la {
 
 void device_band_factor(exec::ThreadPool& pool, std::span<BandMatrix*> systems,
                         exec::KernelCounters* counters) {
+  namespace check = exec::check;
   const exec::Dim3 block{64, 1, 1};
+  // Each block factors its own matrix, so the checker sees per-block-disjoint
+  // global buffers; the refs vector exists only in checked mode — the clean
+  // path stays allocation-free.
+  check::KernelScope chk("la:band-factor");
+  std::vector<check::BufferRef<double>> arefs;
+  if (chk.active()) {
+    arefs.reserve(systems.size());
+    for (BandMatrix* m : systems) arefs.push_back(chk.out(m->data(), "band.a"));
+  }
   exec::launch(
       pool, static_cast<int>(systems.size()), block,
       [&](exec::Block& blk) {
         exec::CounterScope scope(blk.counters());
         BandMatrix& a = *systems[static_cast<std::size_t>(blk.block_idx())];
+        check::checked_span<double> av =
+            arefs.empty() ? check::checked_span<double>(a.data())
+                          : blk.view(arefs[static_cast<std::size_t>(blk.block_idx())]);
         const std::size_t n = a.size();
         const std::size_t lbw = a.lower_bandwidth();
         const std::size_t ubw = a.upper_bandwidth();
@@ -24,7 +37,7 @@ void device_band_factor(exec::ThreadPool& pool, std::span<BandMatrix*> systems,
         // column depends on the previous update); rows of the rank-1 update
         // are independent and stride across the lanes.
         for (std::size_t k = 0; k < n; ++k) {
-          const double piv = a.at(k, k);
+          const double piv = av[a.index(k, k)];
           if (std::abs(piv) < 1e-300) LANDAU_THROW("zero pivot in device band LU at row " << k);
           const double inv = 1.0 / piv;
           const std::size_t imax = std::min(n - 1, k + lbw);
@@ -32,9 +45,10 @@ void device_band_factor(exec::ThreadPool& pool, std::span<BandMatrix*> systems,
           blk.threads([&](exec::ThreadIdx t) {
             for (std::size_t i = k + 1 + static_cast<std::size_t>(t.x); i <= imax && i < n;
                  i += static_cast<std::size_t>(blk.block_dim().x)) {
-              const double m = a.at(i, k) * inv;
-              a.at(i, k) = m;
-              for (std::size_t j = k + 1; j <= jmax; ++j) a.at(i, j) -= m * a.at(k, j);
+              const double m = av[a.index(i, k)] * inv;
+              av[a.index(i, k)] = m;
+              for (std::size_t j = k + 1; j <= jmax; ++j)
+                av[a.index(i, j)] -= m * av[a.index(k, j)];
             }
           });
           blk.sync(); // grid-group sync in the hardware version (§III-G)
@@ -42,23 +56,40 @@ void device_band_factor(exec::ThreadPool& pool, std::span<BandMatrix*> systems,
         }
         scope.dram(static_cast<std::int64_t>(n) * static_cast<std::int64_t>(lbw + ubw + 1) * 8 * 2);
       },
-      counters);
+      counters, &chk);
+  chk.finish();
 }
 
 void device_band_solve(exec::ThreadPool& pool, std::span<BandMatrix* const> systems,
                        std::span<Vec*> x, exec::KernelCounters* counters) {
   LANDAU_ASSERT(systems.size() == x.size(), "batch size mismatch");
+  namespace check = exec::check;
   const exec::Dim3 block{32, 1, 1};
+  check::KernelScope chk("la:band-solve");
+  std::vector<check::BufferRef<const double>> arefs;
+  std::vector<check::BufferRef<double>> vrefs;
+  if (chk.active()) {
+    arefs.reserve(systems.size());
+    vrefs.reserve(x.size());
+    for (const BandMatrix* m : systems)
+      arefs.push_back(chk.in(std::span<const double>(m->data()), "band.a"));
+    for (Vec* v : x) vrefs.push_back(chk.out(v->span(), "band.rhs"));
+  }
   exec::launch(
       pool, static_cast<int>(systems.size()), block,
       [&](exec::Block& blk) {
         exec::CounterScope scope(blk.counters());
-        const BandMatrix& a = *systems[static_cast<std::size_t>(blk.block_idx())];
-        Vec& v = *x[static_cast<std::size_t>(blk.block_idx())];
+        const auto b = static_cast<std::size_t>(blk.block_idx());
+        const BandMatrix& a = *systems[b];
+        Vec& vv = *x[b];
+        check::checked_span<const double> av =
+            arefs.empty() ? check::checked_span<const double>(a.data()) : blk.view(arefs[b]);
+        check::checked_span<double> v =
+            vrefs.empty() ? check::checked_span<double>(vv.span()) : blk.view(vrefs[b]);
         const std::size_t n = a.size();
         const std::size_t lbw = a.lower_bandwidth();
         const std::size_t ubw = a.upper_bandwidth();
-        auto regs = blk.registers<double>();
+        auto regs = blk.registers<double>("regs");
 
         // Forward substitution: row i's dot product over its band is
         // computed lane-parallel, combined with the shuffle butterfly.
@@ -68,7 +99,7 @@ void device_band_solve(exec::ThreadPool& pool, std::span<BandMatrix* const> syst
             double s = 0.0;
             for (std::size_t j = j0 + static_cast<std::size_t>(t.x); j < i;
                  j += static_cast<std::size_t>(blk.block_dim().x))
-              s += a.at(i, j) * v[j];
+              s += av[a.index(i, j)] * v[j];
             regs[static_cast<std::size_t>(t.flat)] = s;
           });
           blk.shfl_xor_sum_x(regs);
@@ -84,12 +115,12 @@ void device_band_solve(exec::ThreadPool& pool, std::span<BandMatrix* const> syst
             double s = 0.0;
             for (std::size_t j = i + 1 + static_cast<std::size_t>(t.x); j <= j1;
                  j += static_cast<std::size_t>(blk.block_dim().x))
-              s += a.at(i, j) * v[j];
+              s += av[a.index(i, j)] * v[j];
             regs[static_cast<std::size_t>(t.flat)] = s;
           });
           blk.shfl_xor_sum_x(regs);
           blk.threads([&](exec::ThreadIdx t) {
-            if (t.flat == 0) v[i] = (v[i] - regs[0]) / a.at(i, i);
+            if (t.flat == 0) v[i] = (v[i] - regs[0]) / av[a.index(i, i)];
           });
           blk.sync();
         }
@@ -97,7 +128,8 @@ void device_band_solve(exec::ThreadPool& pool, std::span<BandMatrix* const> syst
         scope.dram(static_cast<std::int64_t>(n) * static_cast<std::int64_t>(lbw + ubw + 1) * 8 +
                    static_cast<std::int64_t>(n) * 8 * 3);
       },
-      counters);
+      counters, &chk);
+  chk.finish();
 }
 
 void DeviceBlockBandSolver::analyze(const CsrMatrix& a) {

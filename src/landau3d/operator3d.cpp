@@ -256,7 +256,7 @@ void Landau3DOperator::kernel_cuda(la::CsrMatrix& j, exec::KernelCounters* count
                jj += static_cast<std::size_t>(blk.block_dim().x))
             inner_point3(vi, ip_.x[jj], ip_.y[jj], ip_.z[jj], ip_.w[jj], &ip_.f[jj],
                          &ip_.dfx[jj], &ip_.dfy[jj], &ip_.dfz[jj], n, ns, q2_.data(),
-                         q2_over_m_.data(), &regs[static_cast<std::size_t>(t.flat)]);
+                         q2_over_m_.data(), regs.rw_ptr(static_cast<std::size_t>(t.flat)));
         });
         blk.shfl_xor_sum_x(regs);
         scope.flops(static_cast<std::int64_t>(nq) * static_cast<std::int64_t>(n) *

@@ -110,8 +110,7 @@ TEST(CudaSim, ShuffleReducesStructTypes) {
   launch(pool, 1, Dim3{4, 1, 1}, [&](Block& blk) {
     auto regs = blk.registers<Pair>();
     blk.threads([&](ThreadIdx t) {
-      regs[static_cast<std::size_t>(t.flat)].a = t.x;
-      regs[static_cast<std::size_t>(t.flat)].b = 2.0 * t.x;
+      regs[static_cast<std::size_t>(t.flat)] = Pair{static_cast<double>(t.x), 2.0 * t.x};
     });
     blk.shfl_xor_sum_x(regs);
     blk.threads([&](ThreadIdx t) {
@@ -120,6 +119,27 @@ TEST(CudaSim, ShuffleReducesStructTypes) {
   });
   EXPECT_DOUBLE_EQ(total.a, 6.0);
   EXPECT_DOUBLE_EQ(total.b, 12.0);
+}
+
+TEST(CudaSim, ArenaAlignsOveralignedTypes) {
+  // The vector chunks backing the arena are only aligned to max_align_t, so
+  // alignas(64) tile types must be aligned from the chunk's actual base
+  // address, not the bump offset alone.
+  struct alignas(64) Tile {
+    double v[8];
+  };
+  Arena arena(256); // small chunks force frequent new-chunk paths
+  for (int i = 0; i < 16; ++i) {
+    auto d = arena.alloc<double>(3); // mis-align the bump offset
+    auto t = arena.alloc<Tile>(2);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(t.data()) % alignof(Tile), 0u);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d.data()) % alignof(double), 0u);
+    t[0].v[0] = static_cast<double>(i);
+    EXPECT_DOUBLE_EQ(t[0].v[0], static_cast<double>(i));
+  }
+  // An allocation larger than the chunk size gets its own aligned chunk.
+  auto big = arena.alloc<Tile>(8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big.data()) % alignof(Tile), 0u);
 }
 
 TEST(CudaSim, CountersAccumulateAcrossBlocks) {

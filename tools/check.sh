@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full verification matrix: tier-1 tests, the three sanitizer builds over the
+# concurrency-sensitive subset, the device memory-model checker validation
+# suite (with the checker force-enabled through the environment), and
+# clang-tidy when available.
+#
+# Usage: tools/check.sh [build-dir]   (default: build-check)
+#
+# Each stage is independent; the script stops at the first failure. Expect
+# the whole matrix to take a while on one core — the sanitizer stages each
+# rebuild the library.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD=${1:-build-check}
+JOBS=${JOBS:-2}
+
+echo "== tier-1: full test suite (${BUILD}) =="
+cmake -S . -B "${BUILD}" >/dev/null
+cmake --build "${BUILD}" -j "${JOBS}"
+ctest --test-dir "${BUILD}" --output-on-failure
+
+echo "== analysis: device memory-model checker (LANDAU_CHECK_DEVICE=1) =="
+LANDAU_CHECK_DEVICE=1 ctest --test-dir "${BUILD}" -L analysis --output-on-failure
+
+for SAN in thread address undefined; do
+  echo "== sanitize: ${SAN} =="
+  cmake -S . -B "${BUILD}-${SAN}" -DLANDAU_SANITIZE="${SAN}" >/dev/null
+  cmake --build "${BUILD}-${SAN}" -j "${JOBS}" --target landau_sanitize_tests
+  ctest --test-dir "${BUILD}-${SAN}" -L sanitize --output-on-failure
+done
+
+echo "== lint: clang-tidy =="
+if command -v clang-tidy >/dev/null 2>&1; then
+  cmake --build "${BUILD}" --target lint
+else
+  echo "clang-tidy not installed: skipped"
+fi
+
+echo "== all checks passed =="
