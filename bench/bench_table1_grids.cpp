@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "common.h"
 #include "core/multigrid.h"
 #include "core/operator.h"
 #include "util/options.h"
@@ -48,11 +49,14 @@ int main(int argc, char** argv) {
     return static_cast<long long>(n) * static_cast<long long>(n);
   };
 
+  bench::BenchReport report("table1_grids");
   {
     LandauOperator one(species, lopts);
     table.add_row().cell(1).cell(static_cast<long long>(one.space().n_ips()))
         .cell(n2(one.space().n_ips())).cell(static_cast<long long>(one.n_total()));
     std::printf("1 grid: %zu cells\n", one.forest().n_leaves());
+    report.metric("grids1.n_ips", static_cast<double>(one.space().n_ips()), "points", "none");
+    report.metric("grids1.n_equations", static_cast<double>(one.n_total()), "equations", "none");
   }
   {
     MultiGridLandauOperator mg(species, lopts, 2.0); // the paper's clustering
@@ -63,11 +67,14 @@ int main(int argc, char** argv) {
       std::printf(" |g%d: %zu species, %zu cells", g, mg.grid(g).species.size(),
                   mg.grid(g).forest.n_leaves());
     std::printf("\n");
+    report.metric("grids3.n_ips", static_cast<double>(mg.n_ips_total()), "points", "none");
+    report.metric("grids3.n_equations", static_cast<double>(mg.n_total()), "equations", "none");
   }
   {
     MultiGridLandauOperator pg(species, lopts, 0.99); // one grid per species
     table.add_row().cell(pg.n_grids()).cell(static_cast<long long>(pg.n_ips_total()))
         .cell(n2(pg.n_ips_total())).cell(static_cast<long long>(pg.n_total()));
+    report.metric("grids10.n_ips", static_cast<double>(pg.n_ips_total()), "points", "none");
   }
   std::printf("%s", table.str().c_str());
   std::printf("\npaper (Table I): 1184 -> 1.4M tensors, 8050 eq | 960 -> 0.9M, 1930 |"

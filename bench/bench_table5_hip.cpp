@@ -10,6 +10,7 @@
 //  2. the schedule simulation of Table V from the paper-calibrated HIP
 //     component times under the Spock machine model.
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <mutex>
@@ -89,16 +90,25 @@ int main(int argc, char** argv) {
 
   TableWriter table("Table V: Kokkos-HIP, MI100 node, Newton iterations / sec");
   table.header({"procs/core \\ cores/GPU", "1", "2", "4", "8"});
+  double peak = 0.0, at_8x1 = 0.0, at_8x2 = 0.0;
   for (int ppc : {1, 2}) {
     auto row = table.add_row();
     row.cell(ppc);
     for (int cores : {1, 2, 4, 8}) {
       const auto work = make_work(cpu, cal.kernel, 80, iterations);
       const auto r = exec::simulate_throughput(machine, work, cores, ppc);
+      peak = std::max(peak, r.iterations_per_second);
+      if (cores == 8 && ppc == 1) at_8x1 = r.iterations_per_second;
+      if (cores == 8 && ppc == 2) at_8x2 = r.iterations_per_second;
       row.cell(static_cast<long long>(r.iterations_per_second + 0.5));
     }
   }
   std::printf("%s", table.str().c_str());
+
+  BenchReport report("table5_hip");
+  report.metric("hip.peak_it_per_s", peak, "iterations/s", "higher");
+  report.metric("hip.rollover_8x2_over_8x1", at_8x1 > 0 ? at_8x2 / at_8x1 : 0.0, "ratio", "none");
+  report.metric("atomics_penalty", atomics_penalty, "ratio", "none");
   std::printf("\npaper (Table V): 88/169/281/353 at 1 proc/core; 154/272/341/241 at 2 — note the\n"
               "rollover at 8 cores x 2 procs. The simulated table must show the same rollover\n"
               "(throughput at 8x2 below 8x1) driven by the kernel-co-residency penalty.\n"

@@ -28,11 +28,12 @@ int main(int argc, char** argv) {
   }
 
   // --- Part 1: host thread scaling of the Kokkos-style kernel -------------
+  BenchReport report("table6_fugaku");
   {
     TableWriter table("host thread scaling of the Kokkos-sim Jacobian kernel (this machine)");
     table.header({"workers", "jacobian (s)", "speedup"});
     auto species = perf_species(true);
-    double t1 = 0.0;
+    double t1 = 0.0, t_last = 0.0, speedup_last = 1.0;
     const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
     for (unsigned wkr = 1; wkr <= std::min(8u, 2 * hw); wkr *= 2) {
       auto lopts = perf_mesh_options(opts, Backend::KokkosSim);
@@ -47,9 +48,14 @@ int main(int argc, char** argv) {
       }
       const double t = w.seconds() / steps;
       if (wkr == 1) t1 = t;
+      t_last = t;
+      speedup_last = t1 / t;
       table.add_row().cell(static_cast<int>(wkr)).cell(t, 3).cell(t1 / t, 2);
     }
     std::printf("%s(hardware threads available here: %u)\n\n", table.str().c_str(), hw);
+    report.metric("jacobian.serial_seconds", t1, "s", "lower");
+    report.metric("jacobian.max_workers_seconds", t_last, "s", "lower");
+    report.metric("jacobian.speedup", speedup_last, "ratio", "higher");
   }
 
   // --- Part 2: Table VI from the machine model ----------------------------
@@ -86,6 +92,7 @@ int main(int argc, char** argv) {
                    {exec::ResourceKind::Bandwidth, rest_serial, 1}};
     w.n_iterations = 1;
     const auto r = exec::simulate_throughput(fugaku, w, procs, 1);
+    if (procs == 32) report.metric("diag.total_32proc_seconds", r.makespan, "s", "none");
     row.cell(r.makespan, 1);
   }
   std::printf("%s", table.str().c_str());

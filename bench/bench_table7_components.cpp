@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
       "Table VII: per-Newton-iteration component times (ms) on this host, by back-end");
   table.header({"back-end", "total", "Landau", "(kernel)", "factor", "solve", "iters"});
 
+  BenchReport report("table7_components");
   for (Backend be : {Backend::Cpu, Backend::CudaSim, Backend::KokkosSim}) {
     auto lopts = perf_mesh_options(opts, be);
     LandauOperator op(species, lopts);
@@ -32,6 +33,11 @@ int main(int argc, char** argv) {
     table.add_row().cell(backend_name(be)).cell(ct.total * 1e3, 2).cell(ct.landau * 1e3, 2)
         .cell(ct.kernel * 1e3, 2).cell(ct.factor * 1e3, 2).cell(ct.solve * 1e3, 2)
         .cell(ct.iterations);
+    const std::string prefix = backend_name(be);
+    report.metric(prefix + ".total_ms", ct.total * 1e3, "ms", "lower");
+    report.metric(prefix + ".kernel_ms", ct.kernel * 1e3, "ms", "lower");
+    report.metric(prefix + ".factor_ms", ct.factor * 1e3, "ms", "lower");
+    report.metric(prefix + ".solve_ms", ct.solve * 1e3, "ms", "lower");
   }
   std::printf("%s", table.str().c_str());
   std::printf("\npaper (Table VII, seconds per 100-step run):\n"

@@ -68,5 +68,13 @@ int main(int argc, char** argv) {
               "-> Kokkos at %.0f%% of CUDA (paper: ~90%% on V100; the gap there comes from\n"
               "   abstraction overhead the emulation only partially reproduces)\n",
               t_cuda, t_kokkos, 100.0 * t_cuda / t_kokkos);
+
+  BenchReport report("table8_summary");
+  report.metric("sim.cuda_peak_it_per_s", p_cuda, "iterations/s", "higher");
+  report.metric("sim.kokkos_peak_it_per_s", p_kokkos, "iterations/s", "higher");
+  report.metric("sim.hip_peak_it_per_s", p_hip, "iterations/s", "higher");
+  report.metric("host.cuda_kernel_seconds", t_cuda, "s", "lower");
+  report.metric("host.kokkos_kernel_seconds", t_kokkos, "s", "lower");
+  report.metric("host.kokkos_over_cuda", t_kokkos > 0 ? t_cuda / t_kokkos : 0.0, "ratio", "none");
   return 0;
 }

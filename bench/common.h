@@ -13,12 +13,15 @@
 //    GPU exists).
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "core/operator.h"
 #include "util/logging.h"
 #include "exec/device.h"
 #include "exec/schedule_sim.h"
+#include "obs/json.h"
 #include "quench/model.h"
 #include "solver/implicit.h"
 #include "util/options.h"
@@ -26,6 +29,78 @@
 #include "util/table_writer.h"
 
 namespace landau::bench {
+
+/// Machine-readable benchmark output: every bench binary registers its headline
+/// numbers here and a `BENCH_<name>.json` file is written when the report is
+/// destroyed (or on write()). tools/bench_compare.py diffs two such files
+/// against a noise threshold, so CI can gate on throughput regressions.
+///
+/// Schema (version 1):
+///   {"bench": "<name>", "schema": 1,
+///    "env": {"hardware_threads": N, "build": "<type>"},
+///    "metrics": {"<metric>": {"value": x, "unit": "<unit>",
+///                             "compare": "higher"|"lower"|"none"}}}
+///
+/// `compare` tells bench_compare which direction is a regression: "higher"
+/// means larger is better (throughput), "lower" means smaller is better
+/// (latency), "none" marks context values (problem sizes) that are checked
+/// for equality but never gated on.
+class BenchReport {
+public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+  BenchReport(const BenchReport&) = delete;
+  ~BenchReport() {
+    if (!written_) write();
+  }
+
+  void metric(const std::string& key, double value, const std::string& unit,
+              const std::string& compare = "higher") {
+    obs::JsonValue m = obs::JsonValue::object();
+    m.set("value", value);
+    m.set("unit", unit);
+    m.set("compare", compare);
+    metrics_.set(key, std::move(m));
+  }
+
+  /// Output path: $LANDAU_BENCH_DIR/BENCH_<name>.json (cwd by default).
+  std::string path() const {
+    const char* dir = std::getenv("LANDAU_BENCH_DIR");
+    std::string p = dir && *dir ? std::string(dir) + "/" : std::string();
+    return p + "BENCH_" + name_ + ".json";
+  }
+
+  void write() {
+    written_ = true;
+    obs::JsonValue doc = obs::JsonValue::object();
+    doc.set("bench", name_);
+    doc.set("schema", 1);
+    obs::JsonValue env = obs::JsonValue::object();
+    env.set("hardware_threads", static_cast<long long>(std::thread::hardware_concurrency()));
+#ifdef NDEBUG
+    env.set("build", "release");
+#else
+    env.set("build", "debug");
+#endif
+    doc.set("env", std::move(env));
+    doc.set("metrics", std::move(metrics_));
+    const std::string p = path();
+    if (FILE* fp = std::fopen(p.c_str(), "w")) {
+      const std::string text = doc.dump(2);
+      std::fwrite(text.data(), 1, text.size(), fp);
+      std::fputc('\n', fp);
+      std::fclose(fp);
+      std::printf("wrote %s\n", p.c_str());
+    } else {
+      LANDAU_WARN("bench report: cannot open '" << p << "'");
+    }
+    metrics_ = obs::JsonValue::object();
+  }
+
+private:
+  std::string name_;
+  obs::JsonValue metrics_ = obs::JsonValue::object();
+  bool written_ = false;
+};
 
 /// The §V test problem. With `reduced` the mass hierarchy is compressed so
 /// the inner-integral size stays host-friendly; the species structure

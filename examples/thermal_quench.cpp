@@ -10,9 +10,18 @@
 // accepted steps and resume mid-scenario (-checkpoint quench.ckpt
 // -checkpoint_interval 10 -resume), and accepts an injected fault spec for
 // drills (-fault "throw@factor@step=5", also via LANDAU_FAULT_SPEC).
+//
+// Telemetry: -landau_trace trace.json writes a Chrome/Perfetto span trace of
+// the whole run (kernel launches, solver phases) and prints the self-time
+// tree; -landau_step_log steps.ndjson appends one JSON record per accepted
+// step (dt, Newton/GMRES iterations, rejections, n_e, J, E, T_e). The same
+// switches exist as LANDAU_TRACE / LANDAU_STEP_LOG environment variables for
+// binaries without option plumbing.
 
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quench/model.h"
 #include "util/options.h"
 #include "util/robustness.h"
@@ -51,6 +60,15 @@ int main(int argc, char** argv) {
   const std::string fault =
       opts.get<std::string>("fault", "", "fault-injection spec (see util/robustness.h)");
   if (!fault.empty()) FaultInjector::instance().configure(fault);
+  const std::string trace_path = opts.get<std::string>(
+      "landau_trace", "", "write a Chrome/Perfetto trace of the run to this path");
+  const std::string step_log_path = opts.get<std::string>(
+      "landau_step_log", "", "append one NDJSON record per accepted step to this path");
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().set_path(trace_path); // written at exit + self-time report
+    obs::Tracer::instance().enable();
+  }
+  if (!step_log_path.empty()) obs::StepLog::instance().set_path(step_log_path);
 
   auto species = SpeciesSet::electron_deuterium();
   if (ion_mass > 0) species[1].mass = ion_mass;

@@ -1,5 +1,7 @@
 #include "core/jacobian.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/error.h"
 #include "util/profiler.h"
 
@@ -133,10 +135,20 @@ void assemble_landau_jacobian(Backend backend, exec::ThreadPool& pool,
     LANDAU_ASSERT(j.rows() == ctx.n_free() * static_cast<std::size_t>(ctx.species->size()),
                   "Jacobian size mismatch");
   ScopedEvent ev("landau:jacobian-kernel");
+  obs::TraceSpan span("landau:jacobian",
+                      {{"species", ctx.species->size()},
+                       {"cells", ctx.fes->n_cells()},
+                       {"ip_points", ctx.ip->n}});
   switch (backend) {
     case Backend::Cpu: detail::landau_kernel_cpu(ctx, j, counters); break;
     case Backend::CudaSim: detail::landau_kernel_cuda(pool, ctx, j, counters); break;
     case Backend::KokkosSim: detail::landau_kernel_kokkos(pool, ctx, j, counters); break;
+  }
+  if (counters) {
+    // Arithmetic intensity is cumulative over the counters' life — a property
+    // of the algorithm, so the latest value is the representative one.
+    static obs::Gauge& ai = obs::MetricsRegistry::instance().gauge("kernel.jacobian.ai");
+    ai.set(counters->arithmetic_intensity());
   }
 }
 
@@ -187,6 +199,8 @@ void assemble_mass_kernel(exec::ThreadPool& pool, const JacobianContext& ctx, do
   // C <- Transform&Assemble(w[gip]*s, 0, 0, B, 0): pure FE + sparse assembly,
   // the memory-bound contrast case of the paper's roofline study (Table IV).
   ScopedEvent ev("landau:mass-kernel");
+  obs::TraceSpan span("landau:mass",
+                      {{"species", ctx.species->size()}, {"cells", ctx.fes->n_cells()}});
   namespace check = exec::check;
   const auto& fes = *ctx.fes;
   const auto& tab = fes.tabulation();
@@ -232,6 +246,10 @@ void assemble_mass_kernel(exec::ThreadPool& pool, const JacobianContext& ctx, do
     detail::assemble_element(ctx, cell, all, j, ov.active() ? &ov : nullptr);
   });
   chk.finish();
+  if (counters) {
+    static obs::Gauge& ai = obs::MetricsRegistry::instance().gauge("kernel.mass.ai");
+    ai.set(counters->arithmetic_intensity());
+  }
 }
 
 } // namespace landau

@@ -172,7 +172,7 @@ void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::
         em.c.assign(cep, cep + ce.size());
         assemble_element(ctx, cell, em, j, gout.active() ? &gout : nullptr);
       },
-      counters, &chk);
+      counters, &chk, "landau:jacobian-cuda");
   chk.finish();
 }
 

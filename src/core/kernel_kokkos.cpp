@@ -109,7 +109,7 @@ void landau_kernel_kokkos(exec::ThreadPool& pool, const JacobianContext& ctx, la
     em.c.assign(cep, cep + ce.size());
     assemble_element(ctx, cell, em, j, gout.active() ? &gout : nullptr);
       },
-      &chk);
+      &chk, "landau:jacobian-kokkos");
   chk.finish();
 }
 

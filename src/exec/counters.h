@@ -7,6 +7,14 @@
 // Counting is opt-in per kernel launch (pass nullptr to disable) and the
 // accounting calls are cheap relaxed atomics, so instrumented runs remain
 // usable for timing sanity checks (though reported times exclude them).
+//
+// Counting contract: every operation — adds and reset() alike — uses relaxed
+// ordering. The counters are plain accumulators with no acquire/release
+// pairing; readers that need a coherent snapshot must impose their own
+// happens-before edge (in practice: read after ThreadPool::wait() has joined
+// the kernel, which synchronizes-with the workers). Calling reset()
+// concurrently with an in-flight kernel yields an undefined mix of old and
+// new contributions — reset only between launches.
 
 #include <atomic>
 #include <cstdint>
@@ -24,9 +32,9 @@ struct KernelCounters {
   void add_shared(std::int64_t n) { shared_bytes.fetch_add(n, std::memory_order_relaxed); }
 
   void reset() {
-    flops.store(0);
-    dram_bytes.store(0);
-    shared_bytes.store(0);
+    flops.store(0, std::memory_order_relaxed);
+    dram_bytes.store(0, std::memory_order_relaxed);
+    shared_bytes.store(0, std::memory_order_relaxed);
   }
 
   /// Arithmetic intensity w.r.t. DRAM traffic (flops per byte).

@@ -56,7 +56,7 @@ void device_band_factor(exec::ThreadPool& pool, std::span<BandMatrix*> systems,
         }
         scope.dram(static_cast<std::int64_t>(n) * static_cast<std::int64_t>(lbw + ubw + 1) * 8 * 2);
       },
-      counters, &chk);
+      counters, &chk, "la:band-factor");
   chk.finish();
 }
 
@@ -128,7 +128,7 @@ void device_band_solve(exec::ThreadPool& pool, std::span<BandMatrix* const> syst
         scope.dram(static_cast<std::int64_t>(n) * static_cast<std::int64_t>(lbw + ubw + 1) * 8 +
                    static_cast<std::int64_t>(n) * 8 * 3);
       },
-      counters, &chk);
+      counters, &chk, "la:band-solve");
   chk.finish();
 }
 

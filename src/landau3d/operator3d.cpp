@@ -281,7 +281,7 @@ void Landau3DOperator::kernel_cuda(la::CsrMatrix& j, exec::KernelCounters* count
                static_cast<std::size_t>(tab.n_basis()) * static_cast<std::size_t>(tab.n_basis())},
               j, static_cast<std::size_t>(s) * space_.n_dofs(), opts_.atomic_assembly);
       },
-      counters);
+      counters, nullptr, "landau3d:jacobian-cuda");
 }
 
 void Landau3DOperator::add_collision(la::CsrMatrix& j, exec::KernelCounters* counters) {

@@ -1,0 +1,101 @@
+#pragma once
+// Minimal JSON value model shared by the observability layer: the span
+// tracer's Chrome-trace export, the metrics registry's NDJSON step log, the
+// roofline reporter and the bench JSON emitter all build documents through
+// JsonValue, and the tests parse the emitted files back through parse() to
+// assert well-formedness instead of string-matching.
+//
+// Deliberately small: objects preserve insertion order (stable, diffable
+// output for tools/bench_compare.py), numbers are doubles with an integer
+// fast path (no 1e+06 surprises for counters), strings are escaped per RFC
+// 8259. Not a general-purpose library — no comments, no NaN/Inf literals
+// (non-finite doubles serialize as null, which is what a telemetry consumer
+// wants from a poisoned sample).
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace landau::obs {
+
+class JsonValue {
+public:
+  enum class Type { Null, Bool, Int, Double, String, Array, Object };
+
+  JsonValue() = default; // null
+  JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  JsonValue(int v) : type_(Type::Int), int_(v) {}
+  JsonValue(long v) : type_(Type::Int), int_(v) {}
+  JsonValue(long long v) : type_(Type::Int), int_(v) {}
+  JsonValue(unsigned v) : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  JsonValue(std::size_t v) : type_(Type::Int), int_(static_cast<std::int64_t>(v)) {}
+  JsonValue(double v) : type_(Type::Double), double_(v) {}
+  JsonValue(const char* s) : type_(Type::String), string_(s) {}
+  JsonValue(std::string s) : type_(Type::String), string_(std::move(s)) {}
+
+  static JsonValue array() {
+    JsonValue v;
+    v.type_ = Type::Array;
+    return v;
+  }
+  static JsonValue object() {
+    JsonValue v;
+    v.type_ = Type::Object;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_number() const { return type_ == Type::Int || type_ == Type::Double; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const { return bool_; }
+  std::int64_t as_int() const {
+    return type_ == Type::Double ? static_cast<std::int64_t>(double_) : int_;
+  }
+  double as_double() const { return type_ == Type::Int ? static_cast<double>(int_) : double_; }
+  const std::string& as_string() const { return string_; }
+
+  // --- array interface -----------------------------------------------------
+  JsonValue& push_back(JsonValue v) {
+    items_.push_back(std::move(v));
+    return items_.back();
+  }
+  std::size_t size() const { return is_object() ? members_.size() : items_.size(); }
+  const JsonValue& operator[](std::size_t i) const { return items_[i]; }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  // --- object interface (insertion-ordered) --------------------------------
+  JsonValue& set(const std::string& key, JsonValue v);
+  bool contains(const std::string& key) const { return find(key) != nullptr; }
+  /// Member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const { return members_; }
+
+  /// Serialize. indent < 0 renders compact one-line JSON (NDJSON records);
+  /// indent >= 0 pretty-prints with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Strict RFC-8259 parse of a complete document; throws landau::Error with
+  /// an offset-carrying message on malformed input.
+  static JsonValue parse(const std::string& text);
+
+private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;                            // Array
+  std::vector<std::pair<std::string, JsonValue>> members_; // Object
+};
+
+/// Escape a string body per RFC 8259 (no surrounding quotes).
+std::string json_escape(const std::string& s);
+
+} // namespace landau::obs

@@ -1,0 +1,169 @@
+#pragma once
+// Span tracer: per-thread ring buffers of nested begin/end spans with typed
+// arguments (kernel name, grid/block dims, species, element count), exported
+// as Chrome trace-event JSON (load in chrome://tracing or Perfetto) and as a
+// collapsed self-time tree. This supplies the parent/child hierarchy the
+// profiler header used to promise: Profiler events route here through span
+// hooks (installed on enable), so every ScopedEvent in the solver and
+// assembly layers appears as a span without touching its call site.
+//
+// Cost model, mirroring the device checker's: with tracing off (the default)
+// every hook is one relaxed atomic load of a global flag — no allocation, no
+// clock read, no branch beyond the test (bench_trace_overhead measures the
+// end-to-end slowdown at < 2% on a relaxation step). With tracing on, each
+// span is two steady_clock reads plus one write into a thread-local ring
+// buffer; no locks are taken on the hot path (the registry mutex is touched
+// only when a thread's buffer is first created).
+//
+// Ring semantics: each thread owns a fixed-capacity buffer of *completed*
+// spans; when it wraps, the oldest records are overwritten and a drop count
+// is kept, so a long run keeps the most recent window — which is the window
+// a trace viewer wants. Nesting is reconstructed at export time from the
+// recorded (thread, depth, t0, t1), so overwriting old records never
+// corrupts the tree.
+//
+// Enabling: LANDAU_TRACE=path.json in the environment (parsed on first
+// Tracer use; the trace is written at process exit), -landau_trace in the
+// examples, or programmatically:
+//
+//   obs::Tracer::instance().enable();
+//   ... run ...
+//   obs::Tracer::instance().write_chrome_trace("trace.json");
+//   std::puts(obs::Tracer::instance().self_time_report().c_str());
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace landau::obs {
+
+/// One span argument: a static-storage key with an int or double value.
+/// Keys must be string literals (or otherwise outlive the tracer) — the hot
+/// path stores the pointer, never copies.
+struct TraceArg {
+  const char* key = nullptr;
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool is_double = false;
+
+  TraceArg() = default;
+  TraceArg(const char* k, int v) : key(k), i(v) {}
+  TraceArg(const char* k, long v) : key(k), i(v) {}
+  TraceArg(const char* k, long long v) : key(k), i(v) {}
+  TraceArg(const char* k, unsigned v) : key(k), i(static_cast<std::int64_t>(v)) {}
+  TraceArg(const char* k, std::size_t v) : key(k), i(static_cast<std::int64_t>(v)) {}
+  TraceArg(const char* k, double v) : key(k), d(v), is_double(true) {}
+};
+
+inline constexpr int kMaxTraceArgs = 4;
+
+/// One completed span as stored in a thread's ring buffer.
+struct SpanRecord {
+  const char* name = nullptr; // static storage or profiler-interned
+  std::int64_t t0_ns = 0, t1_ns = 0;
+  std::int32_t tid = 0;
+  std::int32_t depth = 0; // nesting depth at begin (0 = top level)
+  std::int32_t n_args = 0;
+  TraceArg args[kMaxTraceArgs];
+};
+
+/// Aggregated node of the collapsed self-time tree (merged across threads by
+/// span-name path).
+struct SpanTreeNode {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t total_ns = 0;
+  std::int64_t self_ns = 0; // total minus the time covered by child spans
+  std::vector<SpanTreeNode> children;
+};
+
+namespace detail {
+extern std::atomic<bool> g_trace_active;
+} // namespace detail
+
+/// The one query every instrumentation site makes first; compiled to a single
+/// relaxed load, this is the whole cost of a disabled tracer.
+inline bool tracing() { return detail::g_trace_active.load(std::memory_order_relaxed); }
+
+class Tracer {
+public:
+  /// First access parses LANDAU_TRACE (non-empty value = output path,
+  /// enables tracing and registers an at-exit Chrome-trace write).
+  static Tracer& instance();
+
+  void enable();
+  void disable();
+  bool enabled() const { return tracing(); }
+
+  /// Output path configured via LANDAU_TRACE / set_path ("" = none).
+  const std::string& path() const { return path_; }
+  void set_path(std::string path) { path_ = std::move(path); }
+
+  /// Per-thread ring capacity for buffers created *after* the call.
+  void set_ring_capacity(std::size_t spans);
+  std::size_t ring_capacity() const { return ring_capacity_.load(std::memory_order_relaxed); }
+
+  /// Begin/end one span on the calling thread. `name` must outlive the
+  /// tracer (string literal or profiler-interned). No-ops when disabled;
+  /// an end() without a live begin() is ignored (cross-enable unwind).
+  void begin(const char* name) { begin(name, {}); }
+  void begin(const char* name, std::initializer_list<TraceArg> args);
+  void end();
+
+  /// All completed spans currently held in the ring buffers, in t0 order.
+  std::vector<SpanRecord> snapshot() const;
+  /// Spans overwritten by ring wrap-around since the last clear().
+  std::int64_t dropped() const;
+  /// Discard all recorded spans (buffers stay registered).
+  void clear();
+
+  /// Merge the recorded spans into one self-time tree (threads merged by
+  /// name path, children sorted by total time descending).
+  SpanTreeNode build_tree() const;
+  /// Indented text rendering of build_tree() — the hierarchical view the
+  /// flat Profiler::report() cannot provide across threads.
+  std::string self_time_report() const;
+
+  /// Chrome trace-event JSON (an array of "X" complete events); loads in
+  /// chrome://tracing and Perfetto. Returns the document for tests.
+  JsonValue chrome_trace() const;
+  void write_chrome_trace(const std::string& path) const;
+
+private:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+
+  std::string path_;
+  std::atomic<std::size_t> ring_capacity_{1u << 15};
+};
+
+/// RAII span; the disabled path is a single flag test per constructor.
+class TraceSpan {
+public:
+  explicit TraceSpan(const char* name) {
+    if (tracing()) {
+      live_ = true;
+      Tracer::instance().begin(name);
+    }
+  }
+  TraceSpan(const char* name, std::initializer_list<TraceArg> args) {
+    if (tracing()) {
+      live_ = true;
+      Tracer::instance().begin(name, args);
+    }
+  }
+  ~TraceSpan() {
+    if (live_) Tracer::instance().end();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+private:
+  bool live_ = false;
+};
+
+} // namespace landau::obs

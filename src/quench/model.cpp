@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
 #include "quench/spitzer.h"
 #include "util/checkpoint.h"
 #include "util/logging.h"
@@ -57,6 +58,9 @@ void QuenchModel::save_checkpoint(const QuenchResult& result, const LoopState& l
     w.put_i64(s.rejections);
   }
   w.save(opts_.checkpoint_path);
+  static obs::Counter& ckpt_writes =
+      obs::MetricsRegistry::instance().counter("quench.checkpoint.writes");
+  ckpt_writes.inc();
   LANDAU_DEBUG("quench: checkpointed step " << ls.next_step << " to '" << opts_.checkpoint_path
                                             << "' (" << w.payload_bytes() << " bytes)");
 }
@@ -144,6 +148,32 @@ QuenchResult QuenchModel::run() {
       s.rejections = adv->rejections;
     }
     result.history.push_back(s);
+
+    // NDJSON step log: one self-contained record per accepted step (plus the
+    // initial state with step = 0 and no solver work). Inactive = one flag
+    // test.
+    auto& log = obs::StepLog::instance();
+    if (log.active()) {
+      auto& reg = obs::MetricsRegistry::instance();
+      obs::JsonValue rec = obs::JsonValue::object();
+      rec.set("kind", "quench");
+      rec.set("step", static_cast<long long>(result.history.size() - 1));
+      rec.set("t", s.t);
+      rec.set("dt", s.dt);
+      rec.set("newton_iterations", s.newton_iterations);
+      rec.set("gmres_iterations_total",
+              static_cast<long long>(reg.counter("solver.gmres.iterations").value()));
+      rec.set("rejections", s.rejections);
+      rec.set("n_e", s.n_e);
+      rec.set("j_z", s.j_z);
+      rec.set("e_z", s.e_z);
+      rec.set("t_e", s.t_e);
+      rec.set("runaway_fraction", s.runaway_fraction);
+      rec.set("phase", s.quench_phase ? "quench" : "spitzer");
+      rec.set("checkpoint_writes",
+              static_cast<long long>(reg.counter("quench.checkpoint.writes").value()));
+      log.write(rec);
+    }
   };
 
   const bool checkpointing = !opts_.checkpoint_path.empty() && opts_.checkpoint_interval > 0;
@@ -214,6 +244,18 @@ ResistivityResult measure_resistivity(LandauOperator& op, double e_z, double dt,
     if (adv.step.stagnated && !adv.step.converged) ++result.stagnated_steps;
     const double j = op.current_z(f);
     const double dj = std::abs(j - prev_j) / std::max(std::abs(j), 1e-300);
+    auto& log = obs::StepLog::instance();
+    if (log.active()) {
+      obs::JsonValue rec = obs::JsonValue::object();
+      rec.set("kind", "resistivity");
+      rec.set("step", step);
+      rec.set("dt", adv.dt);
+      rec.set("newton_iterations", adv.step.newton_iterations);
+      rec.set("rejections", adv.rejections);
+      rec.set("j_z", j);
+      rec.set("e_z", e_z);
+      log.write(rec);
+    }
     prev_j = j;
     if (step > 1 && dj < tol) {
       result.converged = true;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/profiler.h"
 #include "util/robustness.h"
@@ -95,6 +96,9 @@ void ImplicitIntegrator::factor_and_solve(const la::CsrMatrix& jmat, const la::V
       gopts.restart = lsopts_.gmres_restart;
       gopts.jacobi_preconditioner = lsopts_.gmres_jacobi_preconditioner;
       const auto res = la::gmres_solve(jmat, rhs, x, gopts);
+      static obs::Counter& gmres_iters =
+          obs::MetricsRegistry::instance().counter("solver.gmres.iterations");
+      gmres_iters.inc(res.iterations);
       if (!res.converged)
         LANDAU_WARN("GMRES stalled at residual " << res.residual_norm);
       break;
@@ -234,6 +238,14 @@ StepStats ImplicitIntegrator::step(la::Vec& f, double dt, double e_z, const la::
   if (!stats.converged && !stats.stagnated && !stats.non_finite)
     LANDAU_WARN("Newton did not converge: |G| = " << stats.residual_norm << " after "
                                                   << stats.newton_iterations << " iterations");
+  // Telemetry of record for the step log and check.sh telemetry stage; the
+  // handles are resolved once and the updates are relaxed atomics.
+  static obs::Counter& newton_total =
+      obs::MetricsRegistry::instance().counter("solver.newton.iterations");
+  static obs::Histogram& newton_hist = obs::MetricsRegistry::instance().histogram(
+      "solver.newton.per_step", {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0});
+  newton_total.inc(stats.newton_iterations);
+  newton_hist.observe(static_cast<double>(stats.newton_iterations));
   return stats;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <string>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 #include "util/profiler.h"
 
@@ -81,6 +82,11 @@ AdvanceStats StepController::advance(la::Vec& f, double e_z, const la::Vec* sour
       out.step = stats;
       out.dt = dt_;
       ++accepted_;
+      static obs::Counter& accepted_ctr =
+          obs::MetricsRegistry::instance().counter("controller.accepted");
+      static obs::Gauge& dt_gauge = obs::MetricsRegistry::instance().gauge("controller.dt");
+      accepted_ctr.inc();
+      dt_gauge.set(dt_);
       // dt regrowth: after a streak of easy, reject-free accepts, step back
       // out toward the ceiling so the post-transient plateau runs cheap.
       if (out.rejections == 0 && !out.accepted_stagnated &&
@@ -102,6 +108,9 @@ AdvanceStats StepController::advance(la::Vec& f, double e_z, const la::Vec* sour
     f = snapshot_;
     ++out.rejections;
     ++rejected_;
+    static obs::Counter& rejected_ctr =
+        obs::MetricsRegistry::instance().counter("controller.rejected");
+    rejected_ctr.inc();
     Profiler::instance().add(reject_event_, 0.0, 1);
     easy_count_ = 0;
     if (last)

@@ -7,13 +7,35 @@
 namespace landau {
 namespace {
 
-thread_local std::vector<std::pair<int, std::chrono::steady_clock::time_point>> tls_stack;
+struct StackFrame {
+  int id;
+  std::chrono::steady_clock::time_point start;
+  bool hooked; // a span-begin hook fired for this frame; end must balance it
+};
+
+thread_local std::vector<StackFrame> tls_stack;
 
 } // namespace
 
+std::atomic<Profiler::SpanBeginHook> Profiler::span_begin_hook_{nullptr};
+std::atomic<Profiler::SpanEndHook> Profiler::span_end_hook_{nullptr};
+
 Profiler& Profiler::instance() {
-  static Profiler p;
-  return p;
+  // Leaked so the interned event names stay valid in the span tracer's
+  // at-exit trace writer, which can run after static destructors.
+  static Profiler* p = new Profiler;
+  return *p;
+}
+
+void Profiler::set_span_hooks(SpanBeginHook begin, SpanEndHook end) {
+  span_begin_hook_.store(begin, std::memory_order_relaxed);
+  span_end_hook_.store(end, std::memory_order_relaxed);
+}
+
+const char* Profiler::name_of(int id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < 0 || static_cast<std::size_t>(id) >= slots_.size()) return "?";
+  return slots_[static_cast<std::size_t>(id)]->name.c_str();
 }
 
 int Profiler::event_id(const std::string& name) {
@@ -29,15 +51,24 @@ int Profiler::event_id(const std::string& name) {
 }
 
 void Profiler::begin(int id) {
-  tls_stack.emplace_back(id, std::chrono::steady_clock::now());
+  bool hooked = false;
+  if (SpanBeginHook hook = span_begin_hook_.load(std::memory_order_relaxed)) {
+    hook(name_of(id));
+    hooked = true;
+  }
+  tls_stack.push_back({id, std::chrono::steady_clock::now(), hooked});
 }
 
 void Profiler::end(int id) {
   auto now = std::chrono::steady_clock::now();
-  // Unwind to the matching begin; mismatches indicate a bug but we stay robust.
+  const SpanEndHook end_hook = span_end_hook_.load(std::memory_order_relaxed);
+  // Unwind to the matching begin; mismatches indicate a bug but we stay
+  // robust. Every popped frame that opened a span closes it, so the tracer's
+  // per-thread stack stays balanced even through a mismatched unwind.
   while (!tls_stack.empty()) {
-    auto [top_id, start] = tls_stack.back();
+    auto [top_id, start, hooked] = tls_stack.back();
     tls_stack.pop_back();
+    if (hooked && end_hook) end_hook();
     if (top_id == id) {
       auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(now - start).count();
       slots_[id]->nanos.fetch_add(ns, std::memory_order_relaxed);

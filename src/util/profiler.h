@@ -1,10 +1,17 @@
 #pragma once
-// Hierarchical event profiler modeled on PetscLogEvent: named events accumulate
-// wall-clock time and call counts; RAII ScopedEvent handles begin/end. The
+// Event profiler modeled on PetscLogEvent: named events accumulate wall-clock
+// time and call counts; RAII ScopedEvent handles begin/end. The
 // component-time benches (Table VII) read their numbers from here.
 //
 // Thread-safety: events may begin/end on any thread; accumulation is atomic.
-// Nested events on the same thread form a parent/child hierarchy in reports.
+//
+// Contract: snapshot()/report() are *flat* per-event aggregates — events from
+// different threads accumulate into the same slot, and a cross-thread total
+// has no well-defined parent, so this class never claims a hierarchy. The
+// parent/child view lives in the span tracer (obs/trace.h): when tracing is
+// enabled, every ScopedEvent begin/end is routed through the span hooks below
+// and obs::Tracer::self_time_report() renders the indented self-time tree
+// (nesting reconstructed per thread, then merged by span path).
 
 #include <atomic>
 #include <chrono>
@@ -60,6 +67,17 @@ public:
   /// Render a report table.
   std::string report() const;
 
+  /// Interned name of an event id; the pointer is stable for process life
+  /// (slots are never destroyed), so span consumers may hold it.
+  const char* name_of(int id) const;
+
+  /// Span hooks: when installed (by obs::Tracer::enable()), every
+  /// begin()/end() additionally opens/closes a span under the interned event
+  /// name. The uninstalled path is one relaxed null test per begin/end.
+  using SpanBeginHook = void (*)(const char* name);
+  using SpanEndHook = void (*)();
+  static void set_span_hooks(SpanBeginHook begin, SpanEndHook end);
+
 private:
   Profiler() = default;
 
@@ -74,6 +92,9 @@ private:
   mutable std::mutex mutex_;
   std::map<std::string, int> ids_;
   std::vector<std::unique_ptr<Slot>> slots_;
+
+  static std::atomic<SpanBeginHook> span_begin_hook_;
+  static std::atomic<SpanEndHook> span_end_hook_;
 };
 
 /// RAII begin/end of one event.

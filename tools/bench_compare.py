@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<name>.json files against a noise threshold.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json [--threshold PCT]
+    bench_compare.py --self-test
+
+Each file follows the schema written by bench::BenchReport (bench/common.h):
+
+    {"bench": "<name>", "schema": 1,
+     "env": {...},
+     "metrics": {"<metric>": {"value": x, "unit": "<unit>",
+                              "compare": "higher"|"lower"|"none"}}}
+
+For every metric present in both files with compare != "none", the relative
+change candidate/baseline is computed; a change in the *worse* direction
+(lower for "higher"-is-better metrics, higher for "lower"-is-better ones)
+beyond the threshold (default 10%) is a regression and the script exits
+nonzero. Improvements and "none" metrics are reported but never gated on.
+Metrics present in only one file are warned about (schema drift), not gated.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "metrics" not in doc:
+        raise SystemExit(f"{path}: not a bench report (no 'metrics' object)")
+    if doc.get("schema") != 1:
+        raise SystemExit(f"{path}: unsupported schema {doc.get('schema')!r}")
+    return doc
+
+
+def compare(baseline, candidate, threshold_pct):
+    """Return (lines, regressions) comparing two parsed bench reports."""
+    lines = []
+    regressions = []
+    base_metrics = baseline["metrics"]
+    cand_metrics = candidate["metrics"]
+    if baseline.get("bench") != candidate.get("bench"):
+        lines.append(
+            f"warning: comparing different benches "
+            f"({baseline.get('bench')!r} vs {candidate.get('bench')!r})"
+        )
+    for name in base_metrics.keys() | cand_metrics.keys():
+        if name not in base_metrics:
+            lines.append(f"warning: metric '{name}' only in candidate")
+            continue
+        if name not in cand_metrics:
+            lines.append(f"warning: metric '{name}' only in baseline")
+            continue
+        b, c = base_metrics[name], cand_metrics[name]
+        direction = b.get("compare", "none")
+        bv, cv = float(b["value"]), float(c["value"])
+        unit = b.get("unit", "")
+        if bv == 0.0:
+            delta_pct = 0.0 if cv == 0.0 else float("inf")
+        else:
+            delta_pct = 100.0 * (cv - bv) / abs(bv)
+        tag = "  "
+        if direction == "higher" and delta_pct < -threshold_pct:
+            tag = "REGRESSION"
+            regressions.append(name)
+        elif direction == "lower" and delta_pct > threshold_pct:
+            tag = "REGRESSION"
+            regressions.append(name)
+        elif direction != "none" and abs(delta_pct) > threshold_pct:
+            tag = "improved"
+        lines.append(
+            f"{name:40s} {bv:14.6g} -> {cv:14.6g} {unit:14s} "
+            f"{delta_pct:+8.2f}%  [{direction}] {tag}"
+        )
+    return sorted(lines), regressions
+
+
+def self_test(threshold_pct):
+    """Synthetic pass/fail: a within-noise diff must pass, an injected >10%
+    throughput regression must fail, and a latency regression must fail."""
+    def report(**values):
+        return {
+            "bench": "selftest",
+            "schema": 1,
+            "env": {},
+            "metrics": {
+                "throughput": {
+                    "value": values["thr"], "unit": "it/s", "compare": "higher"},
+                "latency": {
+                    "value": values["lat"], "unit": "ms", "compare": "lower"},
+                "problem_size": {
+                    "value": values["size"], "unit": "cells", "compare": "none"},
+            },
+        }
+
+    base = report(thr=100.0, lat=10.0, size=64)
+
+    _, reg = compare(base, report(thr=98.0, lat=10.3, size=64), threshold_pct)
+    assert not reg, f"within-noise diff flagged: {reg}"
+
+    _, reg = compare(base, report(thr=80.0, lat=10.0, size=64), threshold_pct)
+    assert reg == ["throughput"], f"throughput regression missed: {reg}"
+
+    _, reg = compare(base, report(thr=100.0, lat=15.0, size=64), threshold_pct)
+    assert reg == ["latency"], f"latency regression missed: {reg}"
+
+    # "none" metrics never gate, however large the change.
+    _, reg = compare(base, report(thr=100.0, lat=10.0, size=9999), threshold_pct)
+    assert not reg, f"'none' metric gated: {reg}"
+
+    # Improvements never gate.
+    _, reg = compare(base, report(thr=200.0, lat=1.0, size=64), threshold_pct)
+    assert not reg, f"improvement gated: {reg}"
+
+    print("bench_compare self-test: ok")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", nargs="?", help="baseline BENCH_*.json")
+    ap.add_argument("candidate", nargs="?", help="candidate BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="noise threshold in percent (default 10)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the synthetic pass/fail checks and exit")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.threshold)
+    if not args.baseline or not args.candidate:
+        ap.error("baseline and candidate files are required (or --self-test)")
+
+    baseline = load(args.baseline)
+    candidate = load(args.candidate)
+    lines, regressions = compare(baseline, candidate, args.threshold)
+    print(f"bench: {baseline.get('bench')}  threshold: {args.threshold:g}%")
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"FAIL: {len(regressions)} regression(s): {', '.join(regressions)}")
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification matrix: tier-1 tests, the three sanitizer builds over the
 # concurrency-sensitive subset, the device memory-model checker validation
-# suite (with the checker force-enabled through the environment), and
-# clang-tidy when available.
+# suite (with the checker force-enabled through the environment), the
+# telemetry stage (a short traced quench run whose Chrome-trace JSON and
+# NDJSON step log are schema-validated, plus the bench_compare self-test),
+# and clang-tidy when available.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
 #
@@ -22,6 +24,41 @@ ctest --test-dir "${BUILD}" --output-on-failure
 
 echo "== analysis: device memory-model checker (LANDAU_CHECK_DEVICE=1) =="
 LANDAU_CHECK_DEVICE=1 ctest --test-dir "${BUILD}" -L analysis --output-on-failure
+
+echo "== telemetry: traced quench run + schema validation =="
+if command -v python3 >/dev/null 2>&1; then
+  TELEMETRY_DIR="${BUILD}/telemetry"
+  rm -rf "${TELEMETRY_DIR}" && mkdir -p "${TELEMETRY_DIR}"
+  "${BUILD}/examples/thermal_quench" -max_steps 5 -ion_mass 25 \
+    -landau_cells_per_thermal 0.8 -landau_max_levels 5 \
+    -landau_trace "${TELEMETRY_DIR}/trace.json" \
+    -landau_step_log "${TELEMETRY_DIR}/steps.ndjson" >/dev/null
+  python3 - "${TELEMETRY_DIR}/trace.json" "${TELEMETRY_DIR}/steps.ndjson" <<'EOF'
+import json, sys
+trace_path, steps_path = sys.argv[1], sys.argv[2]
+with open(trace_path) as f:
+    events = json.load(f)
+assert isinstance(events, list) and events, "trace is not a non-empty JSON array"
+for e in events:
+    for key in ("name", "ph", "ts", "dur", "pid", "tid"):
+        assert key in e, f"trace event missing '{key}': {e}"
+    assert e["ph"] == "X", f"unexpected event phase {e['ph']!r}"
+names = {e["name"] for e in events}
+assert any(n.startswith("landau:") for n in names), f"no landau:* spans in {sorted(names)[:10]}"
+with open(steps_path) as f:
+    lines = [json.loads(line) for line in f if line.strip()]
+assert len(lines) >= 6, f"expected >= 6 step records, got {len(lines)}"
+for rec in lines:
+    for key in ("kind", "step", "t", "dt", "newton_iterations",
+                "gmres_iterations_total", "rejections", "n_e", "j_z", "e_z",
+                "t_e", "phase"):
+        assert key in rec, f"step record missing '{key}': {rec}"
+print(f"telemetry ok: {len(events)} spans, {len(lines)} step records")
+EOF
+  python3 tools/bench_compare.py --self-test
+else
+  echo "python3 not installed: skipped"
+fi
 
 for SAN in thread address undefined; do
   echo "== sanitize: ${SAN} =="
