@@ -1,5 +1,6 @@
 #include "core/jacobian.h"
 
+#include "exec/annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/error.h"
@@ -60,8 +61,9 @@ la::SparsityPattern landau_jacobian_sparsity(const fem::FESpace& fes, int n_spec
 
 namespace detail {
 
-void assemble_element(const JacobianContext& ctx, std::size_t cell, const ElementMatrices& ce,
-                      la::CsrMatrix& j, const exec::check::checked_span<double>* chk) {
+LANDAU_DEVICE void assemble_element(const JacobianContext& ctx, std::size_t cell,
+                                    const ElementMatrices& ce, la::CsrMatrix& j,
+                                    const exec::check::checked_span<double>* chk) {
   using exec::check::Kind;
   const bool checked = chk && chk->active();
   const auto& dm = ctx.fes->dofmap();
@@ -99,7 +101,7 @@ void assemble_element(const JacobianContext& ctx, std::size_t cell, const Elemen
       const auto ca = dm.closure(nodes[static_cast<std::size_t>(a)]);
       for (int b = 0; b < nb; ++b) {
         const double v = ce.at(s, a, b);
-        if (v == 0.0) continue;
+        if (fp::exact_eq(v, 0.0)) continue; // sparsity skip: bitwise compare intended
         const auto cb = dm.closure(nodes[static_cast<std::size_t>(b)]);
         for (const auto& [di, wi] : ca)
           for (const auto& [dj, wj] : cb) {
@@ -213,10 +215,11 @@ void assemble_mass_kernel(exec::ThreadPool& pool, const JacobianContext& ctx, do
   // the value array as the concurrently-assembled output.
   check::KernelScope chk("landau:mass-kernel");
   auto wref = chk.in(std::span<const double>(ctx.ip->w), "ip.w");
-  auto oref = ctx.coo_values ? chk.out(std::span<double>(*ctx.coo_values), "coo.values")
-                             : chk.out(j.values(), "csr.values");
+  auto oref = ctx.coo_values
+                  ? LANDAU_CROSS_BLOCK(chk.out(std::span<double>(*ctx.coo_values), "coo.values"))
+                  : LANDAU_CROSS_BLOCK(chk.out(j.values(), "csr.values"));
 
-  check::run_grid(pool, fes.n_cells(), &chk, counters, [&](std::size_t cell) {
+  check::run_grid(pool, fes.n_cells(), &chk, counters, LANDAU_KERNEL [&](std::size_t cell) {
     exec::CounterScope scope(counters);
     check::ThreadCtx tc;
     tc.session = chk.session();

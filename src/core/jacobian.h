@@ -23,6 +23,7 @@
 
 #include "core/ip_data.h"
 #include "core/species.h"
+#include "exec/annotations.h"
 #include "exec/check.h"
 #include "exec/counters.h"
 #include "exec/thread_pool.h"
@@ -131,9 +132,9 @@ struct ElementMatrices {
 /// device checker is active, `chk` is the caller's checked view of the output
 /// value array (CSR values or the COO sink) bound to the executing block, and
 /// every scattered entry is recorded as a plain or atomic device write.
-void assemble_element(const JacobianContext& ctx, std::size_t cell, const ElementMatrices& ce,
-                      la::CsrMatrix& j,
-                      const exec::check::checked_span<double>* chk = nullptr);
+LANDAU_DEVICE void assemble_element(const JacobianContext& ctx, std::size_t cell,
+                                    const ElementMatrices& ce, la::CsrMatrix& j,
+                                    const exec::check::checked_span<double>* chk = nullptr);
 
 } // namespace detail
 } // namespace landau

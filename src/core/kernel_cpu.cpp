@@ -5,6 +5,7 @@
 
 #include "core/jacobian.h"
 #include "core/kernel_math.h"
+#include "exec/annotations.h"
 #include "obs/trace.h"
 
 namespace landau::detail {
@@ -31,6 +32,9 @@ void landau_kernel_cpu(const JacobianContext& ctx, la::CsrMatrix& j,
   auto ref_f = chk.in(std::span<const double>(ip.f), "ip.f");
   auto ref_dfr = chk.in(std::span<const double>(ip.dfr), "ip.dfr");
   auto ref_dfz = chk.in(std::span<const double>(ip.dfz), "ip.dfz");
+  // Not LANDAU_CROSS_BLOCK: this back-end runs cells serially
+  // (concurrent_blocks=false above), so the assembly target is never
+  // written concurrently and needs no atomics policy.
   auto ref_out = ctx.coo_values ? chk.out(std::span<double>(*ctx.coo_values), "coo.values")
                                 : chk.out(j.values(), "csr.values");
   check::ThreadCtx tc;

@@ -12,6 +12,7 @@
 
 #include "core/jacobian.h"
 #include "core/kernel_math.h"
+#include "exec/annotations.h"
 #include "exec/cuda_sim.h"
 
 namespace landau::detail {
@@ -50,12 +51,16 @@ void landau_kernel_cuda(exec::ThreadPool& pool, const JacobianContext& ctx, la::
   auto ref_f = chk.in(std::span<const double>(ip.f), "ip.f");
   auto ref_dfr = chk.in(std::span<const double>(ip.dfr), "ip.dfr");
   auto ref_dfz = chk.in(std::span<const double>(ip.dfz), "ip.dfz");
-  auto ref_out = ctx.coo_values ? chk.out(std::span<double>(*ctx.coo_values), "coo.values")
-                                : chk.out(j.values(), "csr.values");
+  // The assembly target is written concurrently by all blocks (paper
+  // §III-F): stores must go through the atomic path, which landau-lint
+  // enforces on direct subscript stores through views of this ref.
+  auto ref_out = ctx.coo_values
+                     ? LANDAU_CROSS_BLOCK(chk.out(std::span<double>(*ctx.coo_values), "coo.values"))
+                     : LANDAU_CROSS_BLOCK(chk.out(j.values(), "csr.values"));
 
   exec::launch(
       pool, static_cast<int>(fes.n_cells()), block,
-      [&](exec::Block& blk) {
+      LANDAU_KERNEL [&](exec::Block& blk) {
         exec::CounterScope scope(blk.counters());
         const auto cell = static_cast<std::size_t>(blk.block_idx());
         const auto geom = fes.geometry(cell);

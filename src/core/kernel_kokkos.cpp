@@ -6,6 +6,7 @@
 
 #include "core/jacobian.h"
 #include "core/kernel_math.h"
+#include "exec/annotations.h"
 #include "exec/kokkos_sim.h"
 
 namespace landau::detail {
@@ -32,12 +33,13 @@ void landau_kernel_kokkos(exec::ThreadPool& pool, const JacobianContext& ctx, la
   auto ref_f = chk.in(std::span<const double>(ip.f), "ip.f");
   auto ref_dfr = chk.in(std::span<const double>(ip.dfr), "ip.dfr");
   auto ref_dfz = chk.in(std::span<const double>(ip.dfz), "ip.dfz");
-  auto ref_out = ctx.coo_values ? chk.out(std::span<double>(*ctx.coo_values), "coo.values")
-                                : chk.out(j.values(), "csr.values");
+  auto ref_out = ctx.coo_values
+                     ? LANDAU_CROSS_BLOCK(chk.out(std::span<double>(*ctx.coo_values), "coo.values"))
+                     : LANDAU_CROSS_BLOCK(chk.out(j.values(), "csr.values"));
 
   kk::parallel_for(
       pool, policy,
-      [&](kk::TeamMember& member) {
+      LANDAU_KERNEL [&](kk::TeamMember& member) {
     exec::CounterScope scope(counters);
     const auto cell = static_cast<std::size_t>(member.league_rank());
     const auto geom = fes.geometry(cell);

@@ -6,6 +6,7 @@
 
 #include "core/jacobian.h"
 #include "core/landau_tensor.h"
+#include "exec/annotations.h"
 
 namespace landau::detail {
 
@@ -27,11 +28,13 @@ struct InnerAccum {
 
 /// Flops per inner-loop iteration (tensor + species sums + accumulation),
 /// used by every back-end for consistent roofline accounting.
-inline int inner_flops(int n_species) { return kLandauTensor2DFlops + 6 * n_species + 14; }
+LANDAU_DEVICE inline int inner_flops(int n_species) {
+  return kLandauTensor2DFlops + 6 * n_species + 14;
+}
 
 /// One (i, j) contribution to the inner integral: Algorithm 1 lines 4-11.
 /// The j-side data may point into shared-memory staging buffers (tiles).
-inline void inner_point(double ri, double zi, double rj, double zj, double wj,
+LANDAU_DEVICE inline void inner_point(double ri, double zi, double rj, double zj, double wj,
                         const double* f_j,   // [species] values at j (stride given)
                         const double* dfr_j, // [species]
                         const double* dfz_j, std::size_t stride, int n_species,
@@ -60,7 +63,7 @@ struct PointCoeffs {
   double dd00, dd01, dd11;    // DD[alpha][i] (symmetric)
 };
 
-inline PointCoeffs transform_point(const InnerAccum& g, double nu0, double q2a,
+LANDAU_DEVICE inline PointCoeffs transform_point(const InnerAccum& g, double nu0, double q2a,
                                    double q2a_over_ma, double q2a_over_ma2, double jinv0,
                                    double jinv1, double wi) {
   // wi is the packed weight qw * detJ * r; the outer measure carries the

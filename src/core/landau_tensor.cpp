@@ -6,7 +6,7 @@
 
 namespace landau {
 
-void landau_tensor_2d(double r, double z, double rp, double zp, Tensor2* uk,
+LANDAU_DEVICE void landau_tensor_2d(double r, double z, double rp, double zp, Tensor2* uk,
                       Tensor2* ud) noexcept {
   const double dz = z - zp;
   const double a = r * r + rp * rp + dz * dz;

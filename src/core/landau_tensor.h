@@ -26,6 +26,8 @@
 
 #include <array>
 
+#include "exec/annotations.h"
+
 namespace landau {
 
 /// 2x2 tensors in row-major order.
@@ -36,7 +38,8 @@ struct Tensor2 {
 /// Evaluate U^K and U^D at field point (r,z), source point (rp,zp).
 /// The hot path of the entire solver: kept inline-friendly and allocation
 /// free. Counts ~flops via the optional pointer (roofline instrumentation).
-void landau_tensor_2d(double r, double z, double rp, double zp, Tensor2* uk, Tensor2* ud) noexcept;
+LANDAU_DEVICE void landau_tensor_2d(double r, double z, double rp, double zp, Tensor2* uk,
+                                    Tensor2* ud) noexcept;
 
 /// Number of floating point operations one landau_tensor_2d call performs
 /// (AGM iterations counted at their typical depth); used for flop accounting.

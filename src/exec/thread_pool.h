@@ -11,9 +11,11 @@
 #include <thread>
 #include <vector>
 
+#include "exec/annotations.h"
+
 namespace landau::exec {
 
-class ThreadPool {
+class LANDAU_HOST_ONLY ThreadPool {
 public:
   /// n_workers == 0 means "run everything inline on the caller" (serial mode).
   explicit ThreadPool(unsigned n_workers);

@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/annotations.h"
 #include "fem/tabulation.h"
 #include "mesh/forest.h"
 
@@ -55,7 +56,7 @@ public:
 
   /// Closure of a node: list of (free dof, weight) whose combination gives
   /// the node's value. Identity for free nodes.
-  std::span<const DofWeight> closure(std::int32_t node) const {
+  LANDAU_DEVICE std::span<const DofWeight> closure(std::int32_t node) const {
     const auto& range = closure_ranges_[static_cast<std::size_t>(node)];
     return {closure_data_.data() + range.first, range.second};
   }

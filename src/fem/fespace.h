@@ -13,6 +13,7 @@
 #include <memory>
 #include <span>
 
+#include "exec/annotations.h"
 #include "fem/dofmap.h"
 #include "fem/tabulation.h"
 #include "la/csr.h"
@@ -41,7 +42,7 @@ public:
     double detj;          // dx*dy/4
     double jinv[2];       // {2/dx, 2/dy}
   };
-  CellGeometry geometry(std::size_t c) const;
+  LANDAU_DEVICE CellGeometry geometry(std::size_t c) const;
 
   /// Nodal interpolation of an analytic function into the free dofs.
   la::Vec interpolate(const std::function<double(double, double)>& f) const;

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "exec/annotations.h"
 #include "fem/lagrange.h"
 #include "fem/quadrature.h"
 
@@ -21,16 +22,18 @@ public:
   int n_quad() const { return nq_; }  // (k+1)^2, point x-fastest
 
   /// Basis value B[q][b].
-  double B(int q, int b) const { return b_[static_cast<std::size_t>(q * nb_ + b)]; }
+  LANDAU_DEVICE double B(int q, int b) const {
+    return b_[static_cast<std::size_t>(q * nb_ + b)];
+  }
   /// Reference gradient E[q][b][d], d in {0,1}.
-  double E(int q, int b, int d) const {
+  LANDAU_DEVICE double E(int q, int b, int d) const {
     return e_[static_cast<std::size_t>((q * nb_ + b) * 2 + d)];
   }
 
   /// Quadrature point coordinates and weights on [-1,1]^2.
-  double qx(int q) const { return quad_.x[static_cast<std::size_t>(q)]; }
-  double qy(int q) const { return quad_.y[static_cast<std::size_t>(q)]; }
-  double qw(int q) const { return quad_.w[static_cast<std::size_t>(q)]; }
+  LANDAU_DEVICE double qx(int q) const { return quad_.x[static_cast<std::size_t>(q)]; }
+  LANDAU_DEVICE double qy(int q) const { return quad_.y[static_cast<std::size_t>(q)]; }
+  LANDAU_DEVICE double qw(int q) const { return quad_.w[static_cast<std::size_t>(q)]; }
 
   /// Reference coordinates of node b.
   double node_x(int b) const { return basis_.nodes()[static_cast<std::size_t>(b % (order_ + 1))]; }

@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/annotations.h"
 #include "exec/thread_pool.h"
 #include "la/csr.h"
 #include "la/vec.h"
@@ -55,7 +56,9 @@ public:
   std::span<const double> data() const { return {data_.data(), n_ * width_}; }
 
   /// Storage index of entry (i,j); valid for in_band(i,j) only.
-  std::size_t index(std::size_t i, std::size_t j) const { return i * width_ + (j - i + lbw_); }
+  LANDAU_DEVICE std::size_t index(std::size_t i, std::size_t j) const {
+    return i * width_ + (j - i + lbw_);
+  }
 
   double& at(std::size_t i, std::size_t j) { return data_[index(i, j)]; }
   double at(std::size_t i, std::size_t j) const { return data_[index(i, j)]; }

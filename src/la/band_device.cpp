@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/annotations.h"
 #include "la/rcm.h"
 #include "util/error.h"
 #include "util/profiler.h"
@@ -24,7 +25,7 @@ void device_band_factor(exec::ThreadPool& pool, std::span<BandMatrix*> systems,
   }
   exec::launch(
       pool, static_cast<int>(systems.size()), block,
-      [&](exec::Block& blk) {
+      LANDAU_KERNEL [&](exec::Block& blk) {
         exec::CounterScope scope(blk.counters());
         BandMatrix& a = *systems[static_cast<std::size_t>(blk.block_idx())];
         check::checked_span<double> av =
@@ -77,7 +78,7 @@ void device_band_solve(exec::ThreadPool& pool, std::span<BandMatrix* const> syst
   }
   exec::launch(
       pool, static_cast<int>(systems.size()), block,
-      [&](exec::Block& blk) {
+      LANDAU_KERNEL [&](exec::Block& blk) {
         exec::CounterScope scope(blk.counters());
         const auto b = static_cast<std::size_t>(blk.block_idx());
         const BandMatrix& a = *systems[b];

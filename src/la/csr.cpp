@@ -53,7 +53,7 @@ double CsrMatrix::get(std::size_t i, std::size_t j) const {
   return k == npos ? 0.0 : values_[k];
 }
 
-void CsrMatrix::add_atomic(std::size_t i, std::size_t j, double v) {
+LANDAU_DEVICE void CsrMatrix::add_atomic(std::size_t i, std::size_t j, double v) {
   std::atomic_ref<double> ref(values_[entry_index(i, j)]);
   ref.fetch_add(v, std::memory_order_relaxed);
 }

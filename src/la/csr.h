@@ -11,6 +11,7 @@
 #include <span>
 #include <vector>
 
+#include "exec/annotations.h"
 #include "la/dense.h"
 #include "la/vec.h"
 #include "util/error.h"
@@ -79,7 +80,7 @@ public:
   double get(std::size_t i, std::size_t j) const;
   void add(std::size_t i, std::size_t j, double v) { values_[entry_index(i, j)] += v; }
   /// Atomic add for concurrent assembly (models GPU atomicAdd on doubles).
-  void add_atomic(std::size_t i, std::size_t j, double v);
+  LANDAU_DEVICE void add_atomic(std::size_t i, std::size_t j, double v);
 
   /// MatSetValues(ADD_VALUES): add a dense block at (rows x cols).
   void add_values(std::span<const std::int32_t> rows, std::span<const std::int32_t> cols,

@@ -1,6 +1,9 @@
 #include "landau3d/operator3d.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "exec/annotations.h"
 
 #include "exec/cuda_sim.h"
 #include "util/logging.h"
@@ -23,7 +26,7 @@ struct Accum3 {
 };
 
 /// One (i, j) contribution: the plain Landau tensor of eq. (3).
-inline void inner_point3(const double vi[3], double xj, double yj, double zj, double wj,
+LANDAU_DEVICE inline void inner_point3(const double vi[3], double xj, double yj, double zj, double wj,
                          const double* f_j, const double* dfx_j, const double* dfy_j,
                          const double* dfz_j, std::size_t stride, int ns, const double* q2,
                          const double* q2m, Accum3* acc) {
@@ -164,14 +167,17 @@ namespace {
 
 /// Shared element epilogue: scale the reduced integrals per species, map to
 /// the global basis and contract with the tabulation.
-void element_matrices_3d(const Space3D& space, const std::vector<Accum3>& g_per_qp,
-                         std::span<const double> wi_per_qp, int ns, const double* q2m,
-                         const double* q2m2, double nu0, std::vector<double>& ce) {
+LANDAU_DEVICE void element_matrices_3d(const Space3D& space, std::span<const Accum3> g_per_qp,
+                                       std::span<const double> wi_per_qp, int ns,
+                                       const double* q2m, const double* q2m2, double nu0,
+                                       std::span<double> ce) {
   const auto& tab = space.tabulation();
   const int nq = tab.n_quad();
   const int nb = tab.n_basis();
   const double jinv = 2.0 / space.h();
-  ce.assign(static_cast<std::size_t>(ns) * nb * nb, 0.0);
+  LANDAU_ASSERT(ce.size() == static_cast<std::size_t>(ns) * nb * nb,
+                "element-matrix buffer size mismatch");
+  std::fill(ce.begin(), ce.end(), 0.0);
   for (int a_sp = 0; a_sp < ns; ++a_sp) {
     const double ck = nu0 * q2m[a_sp];
     const double cd = -nu0 * q2m2[a_sp];
@@ -207,7 +213,7 @@ void Landau3DOperator::kernel_cpu(la::CsrMatrix& j, exec::KernelCounters* counte
   const std::size_t n = ip_.n;
   std::vector<Accum3> g(static_cast<std::size_t>(nq));
   std::vector<double> wi(static_cast<std::size_t>(nq));
-  std::vector<double> ce;
+  std::vector<double> ce(static_cast<std::size_t>(ns) * tab.n_basis() * tab.n_basis());
   for (std::size_t cell = 0; cell < space_.n_cells(); ++cell) {
     exec::CounterScope scope(counters);
     for (int i = 0; i < nq; ++i) {
@@ -242,12 +248,13 @@ void Landau3DOperator::kernel_cuda(la::CsrMatrix& j, exec::KernelCounters* count
   while (2 * lanes * nq <= 256) lanes *= 2;
   const exec::Dim3 block{lanes, nq, 1};
 
+  const int nb = tab.n_basis();
   exec::launch(
       *pool_, static_cast<int>(space_.n_cells()), block,
-      [&](exec::Block& blk) {
+      LANDAU_KERNEL [&](exec::Block& blk) {
         exec::CounterScope scope(blk.counters());
         const auto cell = static_cast<std::size_t>(blk.block_idx());
-        auto regs = blk.registers<Accum3>();
+        auto regs = blk.registers<Accum3>("inner.acc");
         blk.threads([&](exec::ThreadIdx t) {
           const std::size_t gi =
               cell * static_cast<std::size_t>(nq) + static_cast<std::size_t>(t.y);
@@ -263,8 +270,8 @@ void Landau3DOperator::kernel_cuda(la::CsrMatrix& j, exec::KernelCounters* count
                     (kInnerFlops3 + 8 * ns));
         scope.dram(static_cast<std::int64_t>(n) * (4 + 4 * ns) * 8);
 
-        std::vector<Accum3> g(static_cast<std::size_t>(nq));
-        std::vector<double> wi(static_cast<std::size_t>(nq));
+        auto g = blk.shared<Accum3>(static_cast<std::size_t>(nq), "epi.g");
+        auto wi = blk.shared<double>(static_cast<std::size_t>(nq), "epi.wi");
         blk.threads([&](exec::ThreadIdx t) {
           if (t.x == 0) {
             g[static_cast<std::size_t>(t.y)] = regs[static_cast<std::size_t>(t.flat)];
@@ -272,13 +279,15 @@ void Landau3DOperator::kernel_cuda(la::CsrMatrix& j, exec::KernelCounters* count
                 ip_.w[cell * static_cast<std::size_t>(nq) + static_cast<std::size_t>(t.y)];
           }
         });
-        std::vector<double> ce;
-        element_matrices_3d(space_, g, wi, ns, q2_over_m_.data(), q2_over_m2_.data(), 1.0, ce);
+        blk.sync();
+        auto ce = blk.shared<double>(static_cast<std::size_t>(ns * nb * nb), "epi.ce");
+        element_matrices_3d(space_, g.raw(), wi.raw(), ns, q2_over_m_.data(),
+                            q2_over_m2_.data(), 1.0, ce.raw());
         for (int s = 0; s < ns; ++s)
           space_.add_element_matrix(
               cell,
-              {ce.data() + static_cast<std::size_t>(s) * tab.n_basis() * tab.n_basis(),
-               static_cast<std::size_t>(tab.n_basis()) * static_cast<std::size_t>(tab.n_basis())},
+              {ce.raw().data() + static_cast<std::size_t>(s * nb) * nb,
+               static_cast<std::size_t>(nb) * static_cast<std::size_t>(nb)},
               j, static_cast<std::size_t>(s) * space_.n_dofs(), opts_.atomic_assembly);
       },
       counters, nullptr, "landau3d:jacobian-cuda");
@@ -294,12 +303,13 @@ void Landau3DOperator::add_collision(la::CsrMatrix& j, exec::KernelCounters* cou
 }
 
 void Landau3DOperator::add_advection(la::CsrMatrix& j, double e_z) const {
-  if (e_z == 0.0) return;
+  if (fp::exact_eq(e_z, 0.0)) return;
   const auto& tab = space_.tabulation();
   const int nq = tab.n_quad();
   const int nb = tab.n_basis();
   const double jinv = 2.0 / space_.h();
-  const double detj = std::pow(0.5 * space_.h(), 3);
+  const double hh = 0.5 * space_.h();
+  const double detj = hh * hh * hh;
   std::vector<double> ke(static_cast<std::size_t>(nb) * static_cast<std::size_t>(nb));
   for (std::size_t c = 0; c < space_.n_cells(); ++c) {
     std::fill(ke.begin(), ke.end(), 0.0);

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "exec/annotations.h"
+
 namespace landau::v3 {
 
 Tabulation3D::Tabulation3D(int order)
@@ -141,7 +143,8 @@ void Space3D::eval_at_ips(std::span<const double> dofs, std::span<double> values
 void Space3D::ip_coordinates(std::span<double> x, std::span<double> y, std::span<double> z,
                              std::span<double> w) const {
   const int nq = tab_.n_quad();
-  const double detj = std::pow(0.5 * h(), 3);
+  const double hh = 0.5 * h();
+  const double detj = hh * hh * hh;
   for (std::size_t c = 0; c < n_cells(); ++c) {
     const double ox = cell_origin(c, 0), oy = cell_origin(c, 1), oz = cell_origin(c, 2);
     for (int q = 0; q < nq; ++q) {
@@ -175,7 +178,8 @@ la::SparsityPattern Space3D::sparsity() const {
 void Space3D::assemble_mass(la::CsrMatrix& m) const {
   const int nq = tab_.n_quad();
   const int nb = tab_.n_basis();
-  const double detj = std::pow(0.5 * h(), 3);
+  const double hh = 0.5 * h();
+  const double detj = hh * hh * hh;
   std::vector<double> ke(static_cast<std::size_t>(nb) * static_cast<std::size_t>(nb));
   for (std::size_t c = 0; c < n_cells(); ++c) {
     std::fill(ke.begin(), ke.end(), 0.0);
@@ -189,15 +193,16 @@ void Space3D::assemble_mass(la::CsrMatrix& m) const {
   }
 }
 
-void Space3D::add_element_matrix(std::size_t cell, std::span<const double> ke, la::CsrMatrix& a,
-                                 std::size_t block_offset, bool atomic) const {
+LANDAU_DEVICE void Space3D::add_element_matrix(std::size_t cell, std::span<const double> ke,
+                                               la::CsrMatrix& a, std::size_t block_offset,
+                                               bool atomic) const {
   const auto cd = cell_dofs(cell);
   const std::size_t nb = cd.size();
   LANDAU_ASSERT(ke.size() == nb * nb, "element matrix shape mismatch");
   for (std::size_t i = 0; i < nb; ++i)
     for (std::size_t j = 0; j < nb; ++j) {
       const double v = ke[i * nb + j];
-      if (v == 0.0) continue;
+      if (fp::exact_eq(v, 0.0)) continue; // sparsity skip: bitwise compare intended
       const std::size_t gi = block_offset + static_cast<std::size_t>(cd[i]);
       const std::size_t gj = block_offset + static_cast<std::size_t>(cd[j]);
       if (atomic)

@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "exec/annotations.h"
 #include "fem/lagrange.h"
 #include "fem/quadrature.h"
 #include "la/csr.h"
@@ -28,12 +29,14 @@ public:
   int n_basis() const { return nb_; } // (k+1)^3
   int n_quad() const { return nq_; }  // (k+1)^3
 
-  double B(int q, int b) const { return b_[static_cast<std::size_t>(q * nb_ + b)]; }
-  double E(int q, int b, int d) const {
+  LANDAU_DEVICE double B(int q, int b) const {
+    return b_[static_cast<std::size_t>(q * nb_ + b)];
+  }
+  LANDAU_DEVICE double E(int q, int b, int d) const {
     return e_[static_cast<std::size_t>((q * nb_ + b) * 3 + d)];
   }
-  double qx(int q, int d) const { return qp_[static_cast<std::size_t>(q * 3 + d)]; }
-  double qw(int q) const { return qw_[static_cast<std::size_t>(q)]; }
+  LANDAU_DEVICE double qx(int q, int d) const { return qp_[static_cast<std::size_t>(q * 3 + d)]; }
+  LANDAU_DEVICE double qw(int q) const { return qw_[static_cast<std::size_t>(q)]; }
   const fem::Lagrange1D& basis_1d() const { return basis_; }
 
 private:
@@ -86,7 +89,7 @@ public:
   void assemble_mass(la::CsrMatrix& m) const;
 
   /// Add an element matrix into a global (block-offset) matrix.
-  void add_element_matrix(std::size_t cell, std::span<const double> ke, la::CsrMatrix& a,
+  LANDAU_DEVICE void add_element_matrix(std::size_t cell, std::span<const double> ke, la::CsrMatrix& a,
                           std::size_t block_offset, bool atomic) const;
 
 private:

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/annotations.h"
 #include "obs/json.h"
 
 namespace landau::obs {
@@ -89,7 +90,7 @@ extern std::atomic<bool> g_trace_active;
 /// relaxed load, this is the whole cost of a disabled tracer.
 inline bool tracing() { return detail::g_trace_active.load(std::memory_order_relaxed); }
 
-class Tracer {
+class LANDAU_HOST_ONLY Tracer {
 public:
   /// First access parses LANDAU_TRACE (non-empty value = output path,
   /// enables tracing and registers an at-exit Chrome-trace write).

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/annotations.h"
 #include "la/vec.h"
 
 namespace landau::util {
@@ -29,7 +30,7 @@ namespace landau::util {
 inline constexpr std::uint32_t kCheckpointVersion = 1;
 
 /// Append-only typed buffer; save() adds the header and writes atomically.
-class CheckpointWriter {
+class LANDAU_HOST_ONLY CheckpointWriter {
 public:
   void put_f64(double v);
   void put_i64(std::int64_t v);
@@ -46,7 +47,7 @@ private:
 };
 
 /// Loads and validates a checkpoint file, then hands out fields in order.
-class CheckpointReader {
+class LANDAU_HOST_ONLY CheckpointReader {
 public:
   /// Throws landau::Error on missing file, bad magic, version mismatch,
   /// truncation, or checksum failure.

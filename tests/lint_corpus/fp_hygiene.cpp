@@ -1,0 +1,18 @@
+// Seeded violations: fp-hygiene.
+// Raw ==/!= on doubles (usually a missing tolerance) and std::pow with an
+// integer constant exponent (an expensive transcendental for a multiply)
+// in device code.
+#include <cmath>
+
+#include "exec/annotations.h"
+
+LANDAU_DEVICE double bad_fp(double x, double y) {
+  double a = x, b = y;
+  if (a == 0.0) return 0.0; // VIOLATION: raw equality against a literal
+  if (a != b) a = b;        // VIOLATION: raw inequality on doubles
+  double s = std::pow(a, 2);  // VIOLATION: integer exponent
+  s += std::pow(b, -3);       // VIOLATION: integer exponent (negative)
+  s += std::pow(a, 1.5);      // ok: genuinely fractional exponent
+  if (landau::fp::exact_eq(s, 0.0)) return 1.0; // ok: sanctioned bitwise compare
+  return s;
+}

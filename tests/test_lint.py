@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Analysis-tier tests for landau-lint (run under `ctest -L analysis`).
+
+Modes (pass as the single positional argument):
+
+  corpus    every seeded-violation file in tests/lint_corpus/ produces
+            exactly its golden findings (expected/<name>.txt), byte-for-byte,
+            and the exit code matches (1 with findings, 0 for clean.cpp).
+  tree      the real source tree lints clean: zero findings, exit 0.
+  toggles   each check is disableable independently: with --disable CHECK the
+            corpus loses exactly that check's findings and keeps the others;
+            with --enable CHECK it reports only that check's findings.
+            Also exercises --frontend tokens explicitly and --format json,
+            and asserts the auto frontend degrades gracefully (a run never
+            fails spuriously when libclang is absent).
+  all       run every mode (default).
+
+`--update-goldens` regenerates expected/*.txt after an intentional analyzer
+change (not available from ctest; run by hand).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+LINT = os.path.join(REPO, "tools", "lint", "landau_lint.py")
+CORPUS = os.path.join(REPO, "tests", "lint_corpus")
+EXPECTED = os.path.join(CORPUS, "expected")
+
+ALL_CHECKS = [
+    "barrier-divergence",
+    "capture",
+    "atomics",
+    "shared-bounds",
+    "launch-hygiene",
+    "fp-hygiene",
+]
+
+# corpus file stem -> the check its seeded violations belong to
+CHECK_OF = {
+    "barrier_divergence": "barrier-divergence",
+    "capture": "capture",
+    "atomics": "atomics",
+    "shared_bounds": "shared-bounds",
+    "launch_hygiene": "launch-hygiene",
+    "fp_hygiene": "fp-hygiene",
+}
+
+failures = []
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    failures.append(msg)
+
+
+def run_lint(*args):
+    """Run the linter from the repo root so finding paths are repo-relative."""
+    proc = subprocess.run(
+        [sys.executable, LINT, *args],
+        cwd=REPO, capture_output=True, text=True, timeout=120)
+    return proc
+
+
+def corpus_files():
+    return sorted(
+        f for f in os.listdir(CORPUS)
+        if f.endswith(".cpp") and os.path.isfile(os.path.join(CORPUS, f)))
+
+
+def rel(name):
+    return os.path.join("tests", "lint_corpus", name)
+
+
+def mode_corpus(update=False):
+    for name in corpus_files():
+        stem = name[:-4]
+        proc = run_lint("--quiet", rel(name))
+        golden_path = os.path.join(EXPECTED, stem + ".txt")
+        if update:
+            with open(golden_path, "w") as f:
+                f.write(proc.stdout)
+            print(f"updated {golden_path}")
+            continue
+        if not os.path.exists(golden_path):
+            fail(f"{name}: missing golden {golden_path}")
+            continue
+        with open(golden_path) as f:
+            golden = f.read()
+        if proc.stdout != golden:
+            fail(f"{name}: findings differ from golden\n--- expected\n"
+                 f"{golden}--- actual\n{proc.stdout}")
+        want_exit = 0 if not golden.strip() else 1
+        if proc.returncode != want_exit:
+            fail(f"{name}: exit code {proc.returncode}, expected {want_exit}")
+        # Every line commented VIOLATION must be flagged: 100% seeded recall.
+        with open(os.path.join(CORPUS, name)) as f:
+            seeded = [i for i, text in enumerate(f, 1) if "VIOLATION" in text]
+        flagged = {int(line.split(":")[1])
+                   for line in proc.stdout.splitlines() if ":" in line}
+        missed = [i for i in seeded if i not in flagged]
+        if missed:
+            fail(f"{name}: seeded violations on lines {missed} not flagged")
+    if not update:
+        print(f"corpus: {len(corpus_files())} files match their goldens")
+
+
+def mode_tree():
+    proc = run_lint("--quiet", "src")
+    if proc.returncode != 0 or proc.stdout.strip():
+        fail(f"real tree not lint-clean (exit {proc.returncode}):\n{proc.stdout}")
+    else:
+        print("tree: src/ lints clean")
+
+
+def check_names(stdout):
+    names = set()
+    for line in stdout.splitlines():
+        if "[" in line and "]" in line:
+            names.add(line.split("[", 1)[1].split("]", 1)[0])
+    return names
+
+
+def mode_toggles():
+    targets = [rel(f) for f in corpus_files()]
+    base = run_lint("--quiet", *targets)
+    base_checks = check_names(base.stdout)
+    if base_checks != set(ALL_CHECKS):
+        fail(f"corpus does not cover all checks: got {sorted(base_checks)}")
+    for check in ALL_CHECKS:
+        off = run_lint("--quiet", "--disable", check, *targets)
+        got = check_names(off.stdout)
+        if check in got:
+            fail(f"--disable {check} still reports {check} findings")
+        if got != base_checks - {check}:
+            fail(f"--disable {check} altered other checks: {sorted(got)}")
+        only = run_lint("--quiet", "--enable", check, *targets)
+        got = check_names(only.stdout)
+        if got != {check}:
+            fail(f"--enable {check} reported {sorted(got)}")
+    # Explicit tokens frontend: identical findings to the default run.
+    toks = run_lint("--quiet", "--frontend", "tokens", *targets)
+    if toks.stdout != base.stdout:
+        fail("--frontend tokens differs from default frontend output")
+    # Auto frontend degrades gracefully: exit is 0/1 (never a spurious 2)
+    # whether or not libclang is installed, and the summary names a frontend.
+    auto = run_lint(*targets)
+    if auto.returncode not in (0, 1):
+        fail(f"auto frontend failed spuriously (exit {auto.returncode}): "
+             f"{auto.stderr}")
+    if "frontend=" not in auto.stderr:
+        fail(f"summary line missing frontend note: {auto.stderr}")
+    # JSON output parses and agrees with the text finding count.
+    js = run_lint("--quiet", "--format", "json", *targets)
+    try:
+        parsed = json.loads(js.stdout)
+    except json.JSONDecodeError as e:
+        fail(f"--format json output unparsable: {e}")
+        parsed = []
+    if len(parsed) != len([l for l in base.stdout.splitlines() if l.strip()]):
+        fail("json finding count differs from text output")
+    print("toggles: all checks independently disable/enable; "
+          "frontends and json agree")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("mode", nargs="?", default="all",
+                    choices=["corpus", "tree", "toggles", "all"])
+    ap.add_argument("--update-goldens", action="store_true")
+    args = ap.parse_args()
+
+    if args.update_goldens:
+        mode_corpus(update=True)
+        return 0
+    if args.mode in ("corpus", "all"):
+        mode_corpus()
+    if args.mode in ("tree", "all"):
+        mode_tree()
+    if args.mode in ("toggles", "all"):
+        mode_toggles()
+    if failures:
+        print(f"{len(failures)} failure(s)")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,8 @@
 # suite (with the checker force-enabled through the environment), the
 # telemetry stage (a short traced quench run whose Chrome-trace JSON and
 # NDJSON step log are schema-validated, plus the bench_compare self-test),
-# and clang-tidy when available.
+# and the static stage: landau-lint over the annotated kernel layer plus
+# clang-tidy when available.
 #
 # Usage: tools/check.sh [build-dir]   (default: build-check)
 #
@@ -67,11 +68,17 @@ for SAN in thread address undefined; do
   ctest --test-dir "${BUILD}-${SAN}" -L sanitize --output-on-failure
 done
 
-echo "== lint: clang-tidy =="
+echo "== static: landau-lint + clang-tidy =="
+LINT_KERNELS="skipped (python3 not installed)"
+CLANG_TIDY="skipped (clang-tidy not installed)"
+if command -v python3 >/dev/null 2>&1; then
+  cmake --build "${BUILD}" --target lint-kernels
+  LINT_KERNELS="clean"
+fi
 if command -v clang-tidy >/dev/null 2>&1; then
   cmake --build "${BUILD}" --target lint
-else
-  echo "clang-tidy not installed: skipped"
+  CLANG_TIDY="clean"
 fi
+echo "static: landau-lint ${LINT_KERNELS}, clang-tidy ${CLANG_TIDY}"
 
 echo "== all checks passed =="
